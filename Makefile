@@ -1,0 +1,33 @@
+# Convenience targets for the reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test test-fast bench bench-full demo examples lint clean
+
+install:
+	pip install -e .
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow"
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+demo:
+	$(PYTHON) -m repro.cli demo
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/web_visit_recon.py
+	$(PYTHON) examples/ids_logging_recon.py
+	$(PYTHON) examples/defender_leakage_audit.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,95 @@
+"""Shared benchmark scaffolding.
+
+Each experiment benchmark regenerates one of the paper's evaluation
+artifacts and prints it in the paper's terms (series, CDFs, or
+paper-vs-measured tables).  Experiment sizes scale with the environment:
+
+* default           -- reduced scale, minutes per benchmark;
+* ``REPRO_SCALE=x`` -- explicit scale factor on configuration counts;
+* ``REPRO_FULL=1``  -- the paper's 100-configuration scale (hours);
+* ``REPRO_MODE=network`` -- run trials on the packet-level simulator
+  instead of the fast (semantically identical) flow-table replay.
+
+Heavy experiments run exactly once inside ``benchmark.pedantic``; the
+timing numbers pytest-benchmark reports for them are wall-clock costs
+of the experiment, not statistical micro-benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.params import ExperimentParams, bench_scale
+
+
+def trial_mode() -> str:
+    """Trial fidelity for experiment benchmarks."""
+    return os.environ.get("REPRO_MODE", "table")
+
+
+def experiment_params(seed: int, n_trials: int = 60) -> ExperimentParams:
+    """Paper-setup parameters at the benchmark scale."""
+    return ExperimentParams(
+        n_trials=n_trials,
+        seed=seed,
+        trial_mode=trial_mode(),
+    )
+
+
+def scaled_configs(per_bin_full: int) -> int:
+    """Configurations per bin, scaled from the paper's count."""
+    return max(1, round(per_bin_full * bench_scale()))
+
+
+from repro.experiments.params import (  # noqa: E402
+    VIABLE_FIG6_BINS as FIG6_BINS,
+    VIABLE_FIG7_BINS as FIG7_BINS,
+)
+
+#: Paper-scale configurations per bin (scaled by ``bench_scale``).
+FIG6_PER_BIN_FULL = 50
+FIG7_PER_BIN_FULL = 33
+
+_experiment_cache = {}
+
+
+def get_fig6_result():
+    """The Figure 6 experiment, shared by fig6a/fig6b/headline benches."""
+    key = ("fig6", bench_scale(), trial_mode())
+    if key not in _experiment_cache:
+        from repro.experiments.fig6 import run_fig6
+
+        _experiment_cache[key] = run_fig6(
+            experiment_params(seed=2017),
+            bins=FIG6_BINS,
+            configs_per_bin=scaled_configs(FIG6_PER_BIN_FULL),
+        )
+    return _experiment_cache[key]
+
+
+def get_fig7_result():
+    """The Figure 7 experiment, shared by fig7a/fig7b benches."""
+    key = ("fig7", bench_scale(), trial_mode())
+    if key not in _experiment_cache:
+        from repro.experiments.fig7 import run_fig7
+
+        _experiment_cache[key] = run_fig7(
+            experiment_params(seed=1848),
+            bins=FIG7_BINS,
+            configs_per_bin=scaled_configs(FIG7_PER_BIN_FULL),
+        )
+    return _experiment_cache[key]
+
+
+@pytest.fixture
+def print_section(capsys):
+    """Print a benchmark's report outside pytest's capture."""
+
+    def _print(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,71 @@
+"""Ablation: how the detection window ``T`` shapes the attack.
+
+DESIGN.md's experiment index calls for ablations of the design's
+parameters.  The detection window is the most consequential: rule TTLs
+cap how far back the cache can "remember" (at most 1 s in the paper's
+menu), so as ``T`` grows past the longest TTL the probe's evidence
+covers a shrinking fraction of the question being asked, the prior
+``P(X̂=0) = (1-p)^T`` decays, and the optimal probe's information gain
+collapses.  This benchmark traces that curve on one paper-scale
+configuration.
+"""
+
+from repro.core.compact_model import CompactModel
+from repro.core.decision_tree import DecisionTree
+from repro.core.inference import ReconInference
+from repro.core.selection import best_single_probe
+from repro.experiments.report import format_table
+from repro.flows.config import ConfigGenerator, ConfigParams
+
+#: Detection windows in seconds (the paper fixes 15 s).
+WINDOWS = (0.5, 1.0, 2.0, 5.0, 15.0)
+
+
+def test_bench_ablation_window(benchmark, print_section):
+    params = ConfigParams(absence_range=(0.5, 0.95))
+    config = ConfigGenerator(params, seed=404).sample()
+    model = CompactModel(
+        config.policy, config.universe, config.delta, config.cache_size
+    )
+
+    def sweep():
+        rows = []
+        for window in WINDOWS:
+            steps = int(window / config.delta)
+            inference = ReconInference(model, config.target_flow, steps)
+            choice = best_single_probe(inference)
+            tree = DecisionTree.build(inference, choice.probes)
+            rows.append(
+                [
+                    window,
+                    inference.prior_absent(),
+                    choice.probes[0],
+                    choice.gain,
+                    tree.expected_accuracy(),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_section(
+        format_table(
+            [
+                "window (s)",
+                "P(absent)",
+                "optimal probe",
+                "IG (bits)",
+                "predicted acc",
+            ],
+            rows,
+            title=(
+                "Detection-window ablation (one configuration; max rule "
+                "TTL = 1 s)"
+            ),
+        )
+    )
+
+    priors = [row[1] for row in rows]
+    assert priors == sorted(priors, reverse=True)  # prior decays with T
+    # Short windows (within TTL reach) are at least as informative as
+    # the 15 s window.
+    assert rows[1][3] >= rows[-1][3] - 1e-9

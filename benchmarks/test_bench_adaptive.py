@@ -1,0 +1,86 @@
+"""Extension benchmark: adaptive vs non-adaptive probing.
+
+The paper's attacker fixes its ``m`` probes in advance (Section V-B).
+The adaptive attacker in :mod:`repro.core.adaptive` picks each probe
+after seeing the previous outcome.  This benchmark compares, on
+screened configurations, the model-predicted information extracted by
+both policies at equal probe budgets, and their measured accuracy over
+simulated trials.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import experiment_params
+from repro.core.adaptive import AdaptiveModelAttacker, AdaptiveSession
+from repro.core.selection import best_probe_set
+from repro.experiments.harness import sample_screened_harnesses
+from repro.experiments.params import bench_scale
+from repro.experiments.report import format_table
+from repro.experiments.trials import run_adaptive_trial
+
+
+def test_bench_adaptive_vs_nonadaptive(benchmark, print_section):
+    params = experiment_params(seed=505).with_absence_range(0.5, 0.95)
+    n_configs = max(2, round(8 * bench_scale() * 2))
+    n_trials = max(30, int(100 * bench_scale() * 2))
+    budget = 2
+
+    def run():
+        harnesses = sample_screened_harnesses(params, n_configs)
+        rows = []
+        for index, harness in enumerate(harnesses):
+            nonadaptive = best_probe_set(
+                harness.inference, budget, method="greedy"
+            )
+            session = AdaptiveSession(
+                harness.inference, max_probes=budget
+            )
+            adaptive_info = session.expected_information()
+
+            attacker = AdaptiveModelAttacker(
+                harness.inference, max_probes=budget
+            )
+            rng = np.random.default_rng(1000 + index)
+            correct = 0
+            for _ in range(n_trials):
+                seed = int(rng.integers(2**62))
+                trial = run_adaptive_trial(
+                    harness.config, attacker, seed, mode="table"
+                )
+                correct += trial.correct("adaptive")
+            rows.append(
+                [
+                    index,
+                    nonadaptive.gain,
+                    adaptive_info,
+                    correct / n_trials,
+                    harness.run_trials(n_trials=n_trials).accuracies["model"],
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_section(
+        format_table(
+            [
+                "config",
+                f"IG nonadaptive (m={budget})",
+                f"info adaptive (m={budget})",
+                "adaptive acc",
+                "model (1-probe) acc",
+            ],
+            rows,
+            title=(
+                "Adaptive vs non-adaptive probing on screened "
+                f"configurations ({n_trials} trials each)"
+            ),
+        )
+    )
+
+    for row in rows:
+        # Myopic adaptivity tracks the greedy non-adaptive plan; tiny
+        # deficits are possible because the non-adaptive plan's sorted
+        # execution order can exploit a cache-perturbation ordering the
+        # myopic policy never considers (see repro.core.adaptive).
+        assert row[2] >= row[1] - 0.01
+        assert 0.0 <= row[3] <= 1.0

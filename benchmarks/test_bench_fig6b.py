@@ -1,0 +1,41 @@
+"""Figure 6b: CDF of the model attacker's additive accuracy improvement.
+
+Paper shape to reproduce: most configurations see a small (or zero)
+improvement, with a heavy right tail -- ">= 15% improvement for about
+20% of network configurations, and for 5% of configurations this
+improvement exceeds 35%".
+"""
+
+from benchmarks.conftest import get_fig6_result
+from repro.analysis.cdf import survival_at
+from repro.experiments.report import format_cdf, format_table
+
+
+def test_bench_fig6b(benchmark, print_section):
+    result = benchmark.pedantic(get_fig6_result, rounds=1, iterations=1)
+
+    improvements = result.improvements()
+    print_section(
+        format_cdf(
+            result.improvement_cdf(),
+            title=(
+                "Figure 6b -- CDF of additive improvement in average "
+                "accuracy over the naive attacker, per configuration"
+            ),
+        )
+    )
+    print_section(
+        format_table(
+            ["tail", "paper", "measured"],
+            [
+                ["P(improvement >= 0.15)", 0.20, survival_at(improvements, 0.15)],
+                ["P(improvement >= 0.35)", 0.05, survival_at(improvements, 0.35)],
+            ],
+            title="Improvement tail vs paper",
+        )
+    )
+
+    # Shape: improvements are bounded and not systematically negative.
+    assert all(-1.0 <= value <= 1.0 for value in improvements)
+    mean = sum(improvements) / len(improvements)
+    assert mean >= -0.05

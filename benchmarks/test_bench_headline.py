@@ -1,0 +1,50 @@
+"""The paper's headline statistics (Sections I and VI).
+
+"The use of our model improves the accuracy of these attacks by about
+2% on average.  However, for certain subclasses of rule sets and flow
+rates, this improvement can grow to 23% or more, yielding an average
+accuracy approaching 85%" (naive attackers "barely reach 62%" there).
+"""
+
+from benchmarks.conftest import get_fig6_result
+from repro.experiments.report import paper_vs_measured
+
+
+def test_bench_headline(benchmark, print_section):
+    result = benchmark.pedantic(get_fig6_result, rounds=1, iterations=1)
+    headline = result.headline()
+
+    improvements = sorted(result.improvements(), reverse=True)
+    top = improvements[: max(1, len(improvements) // 10)]
+    best_subclass_improvement = sum(top) / len(top)
+
+    print_section(
+        paper_vs_measured(
+            [
+                ("mean improvement", 0.02, headline["mean_improvement"]),
+                (
+                    "best-subclass improvement",
+                    0.23,
+                    best_subclass_improvement,
+                ),
+                (
+                    "frac configs improving >= 15%",
+                    0.20,
+                    headline["frac_configs_improving_15pct"],
+                ),
+                (
+                    "frac configs improving >= 35%",
+                    0.05,
+                    headline["frac_configs_improving_35pct"],
+                ),
+                ("mean model accuracy", 0.75, headline["mean_model_accuracy"]),
+            ],
+            title=(
+                "Headline statistics "
+                f"(n = {int(headline['n_configs'])} configurations)"
+            ),
+        )
+    )
+
+    assert headline["mean_improvement"] >= -0.05
+    assert headline["mean_model_accuracy"] >= headline["mean_naive_accuracy"] - 0.05

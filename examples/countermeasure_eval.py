@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Evaluate the Section VII-B countermeasures against the attack.
+
+Runs the same reconnaissance attack three ways on the packet-level
+simulator --
+
+* undefended (baseline),
+* with the *delay* defense (first packets of every flow are delayed
+  even on cache hits, hiding the hit/miss gap),
+* with the *proactive* defense (the whole policy pre-installed, so
+  probes never see a setup round trip)
+
+-- and reports each attacker's accuracy plus the defenses' costs.  It
+then uses the Markov model as the paper suggests: as a leakage meter
+for the third countermeasure, comparing the information exposed by the
+original rule structure, a microflow split, and a coarse merge.
+
+Run:  python examples/countermeasure_eval.py [seed]
+"""
+
+import sys
+
+from repro.countermeasures import (
+    DelayDefense,
+    ProactiveDefense,
+    merge_to_coarse,
+    policy_leakage,
+    split_to_microflows,
+)
+from repro.experiments.harness import sample_screened_harnesses
+from repro.experiments.params import ExperimentParams
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 31
+    params = ExperimentParams(
+        n_trials=40,
+        seed=seed,
+        trial_mode="network",
+        config=ExperimentParams().config.__class__(absence_range=(0.5, 0.95)),
+    )
+    print("Sampling a screened configuration (this can take a minute)...")
+    harness = sample_screened_harnesses(params, 1)[0]
+    config = harness.config
+    print(config.describe())
+    print()
+
+    def measure(defense_factory, label: str) -> None:
+        result = harness.run_trials(
+            n_trials=params.n_trials, defense_factory=defense_factory
+        )
+        print(f"{label}:")
+        for name in ("naive", "model", "random"):
+            print(f"  {name:8s} accuracy = {result.accuracies[name]:.3f}")
+        print()
+
+    measure(None, "Undefended baseline")
+    measure(lambda: DelayDefense(first_k=2), "Delay defense (Sec. VII-B1)")
+    measure(lambda: ProactiveDefense(), "Proactive defense (Sec. VII-B2)")
+
+    print("Rule-structure leakage (Sec. VII-B3), best-probe IG in bits:")
+    base = policy_leakage(
+        config.policy,
+        config.universe,
+        config.delta,
+        config.cache_size,
+        config.target_flow,
+        config.window_steps,
+    )
+    micro = policy_leakage(
+        split_to_microflows(config.policy),
+        config.universe,
+        config.delta,
+        config.cache_size,
+        config.target_flow,
+        config.window_steps,
+    )
+    coarse = policy_leakage(
+        merge_to_coarse(config.policy, max(2, len(config.policy) // 3)),
+        config.universe,
+        config.delta,
+        config.cache_size,
+        config.target_flow,
+        config.window_steps,
+    )
+    print(f"  original structure ({len(config.policy)} rules): {base:.4f}")
+    print(f"  microflow split:                         {micro:.4f}")
+    print(f"  coarse merge:                            {coarse:.4f}")
+    print(
+        "\nExpected shape: microflow >= original >= coarse "
+        "(finer rules leak more; the delay and proactive defenses "
+        "drive attack accuracy toward the prior)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Defender-side audit: which flows does my rule structure expose?
+
+Section VII-B3 suggests the attack model doubles as a defensive tool:
+"our Markov model can serve as a tool to measure the information
+leakage of the rule structure".  This example plays the defender:
+
+1. sample a realistic policy (the paper's 12-rule wildcard setup);
+2. compute the leakage map -- for every flow, the information an
+   optimal attacker probe would extract about it;
+3. compare candidate restructurings (microflow split vs coarse merges)
+   on worst-case and mean leakage;
+4. pick the smallest structure meeting a leakage budget.
+
+Run:  python examples/defender_leakage_audit.py [seed]
+"""
+
+import sys
+
+from repro.analysis.leakage import compare_structures, leakage_map
+from repro.countermeasures.transform import (
+    merge_to_coarse,
+    split_to_microflows,
+)
+from repro.flows.config import ConfigGenerator, ConfigParams
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    # An 8-host slice keeps the audit interactive (~seconds); the same
+    # code runs at the full 16-host scale in the benchmarks.
+    params = ConfigParams(
+        n_flows=8,
+        mask_bits=3,
+        n_rules=8,
+        cache_size=4,
+        delta=0.02,
+        window_seconds=10.0,
+        absence_range=(0.4, 0.95),
+    )
+    config = ConfigGenerator(params, seed=seed).sample()
+    print("Auditing this policy:")
+    print(config.policy.describe())
+    print()
+
+    kwargs = dict(
+        universe=config.universe,
+        delta=config.delta,
+        cache_size=config.cache_size,
+        window_steps=config.window_steps,
+    )
+
+    print("Per-flow leakage map (best attacker probe, bits):")
+    leaks = leakage_map(config.policy, **kwargs)
+    for flow, bits in sorted(leaks.items(), key=lambda kv: -kv[1]):
+        rate = config.universe.rates[flow]
+        bar = "#" * int(min(bits, 0.05) * 400)
+        print(f"  flow #{flow:2d} (lambda={rate:.2f}/s)  {bits:.5f}  {bar}")
+    print()
+
+    structures = {
+        "original": config.policy,
+        "microflow split": split_to_microflows(config.policy),
+        "merge to 4": merge_to_coarse(config.policy, 4),
+        "merge to 2": merge_to_coarse(config.policy, 2),
+        "merge to 1": merge_to_coarse(config.policy, 1),
+    }
+    print("Candidate restructurings (Section VII-B3):")
+    rows = compare_structures(structures, **kwargs)
+    for row in rows:
+        print(
+            f"  {row['structure']:22s} rules={row['n_rules']:2d} "
+            f"worst={row['worst_leakage_bits']:.5f} bits "
+            f"(flow #{row['worst_target']}) "
+            f"mean={row['mean_leakage_bits']:.5f}"
+        )
+    print()
+
+    budget = rows[0]["worst_leakage_bits"] * 0.5
+    acceptable = [
+        row
+        for row in rows
+        if row["worst_leakage_bits"] <= budget
+    ]
+    if acceptable:
+        pick = max(acceptable, key=lambda row: row["n_rules"])
+        print(
+            f"Leakage budget {budget:.5f} bits -> deploy "
+            f"'{pick['structure']}' (keeps the most forwarding "
+            "granularity within budget)."
+        )
+    else:
+        print(
+            f"No candidate meets the {budget:.5f}-bit budget; consider "
+            "the proactive defense instead."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Quickstart: one flow-reconnaissance attack, end to end.
+
+Walks through the full pipeline on a paper-scale random configuration:
+
+1. sample a network configuration (16 flows, 12 wildcard rules, cache 6);
+2. fit the compact Markov model of the switch cache (Section IV-B);
+3. select the information-gain-optimal probe flow (Section V);
+4. generate 15 s of Poisson background traffic on the simulated
+   Stanford-backbone network and let it run;
+5. inject the probe as a (spoofed) ICMP echo, time the reply against
+   the 1 ms threshold, and decide whether the target flow occurred;
+6. compare the model-based attacker with the naive attacker over a
+   handful of trials.
+
+Run:  python examples/quickstart.py [seed]
+"""
+
+import sys
+
+from repro.experiments.harness import ConfigHarness
+from repro.experiments.params import ExperimentParams
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 2017
+    params = ExperimentParams(
+        n_trials=30,
+        seed=seed,
+        # Keep the quickstart interesting: targets whose prior is
+        # genuinely uncertain.
+        config=ExperimentParams().config.__class__(absence_range=(0.2, 0.8)),
+    )
+
+    print("Sampling a network configuration (Section VI-A)...")
+    harness = ConfigHarness.sample(params)
+    config = harness.config
+    print(config.describe())
+    print()
+
+    inference = harness.inference
+    print(f"Prior P(target absent)    = {inference.prior_absent():.3f}")
+    print(f"Prior entropy H(X̂)        = {inference.prior_entropy():.3f} bits")
+    print()
+
+    print("Per-probe information gains (Section V):")
+    for flow in range(len(config.universe)):
+        gain = inference.information_gain((flow,))
+        marker = ""
+        if flow == config.target_flow:
+            marker += "  <- target"
+        if flow == harness.model_attacker.probes[0]:
+            marker += "  <- optimal probe"
+        print(f"  flow #{flow:2d}: IG = {gain:.4f} bits{marker}")
+    print()
+
+    print(f"Running {params.n_trials} trials on the simulated network...")
+    result = harness.run_trials()
+    print(f"  viability screen passed: {result.screened}")
+    for name in ("naive", "model", "constrained", "random"):
+        print(f"  {name:12s} accuracy = {result.accuracies[name]:.3f}")
+    print(
+        f"  model - naive improvement = {result.improvement:+.3f} "
+        "(Figure 6b's quantity)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Scenario: "has host A visited web server B?" with overlapping rules.
+
+This example builds the paper's Figure 2c structure explicitly and shows
+the headline subtlety of the model: *the optimal probe is not the target
+flow*.
+
+    rule_1 (high priority) covers {f1, f2}
+    rule_2 (low priority)  covers {f1, f3}
+
+The attacker wants to detect f1 (host A -> server B).  Probing f1 tests
+"is rule_1 OR rule_2 cached?" -- but rule_2 is kept alive by the busy
+flow f3, so a hit says almost nothing.  Probing f2 tests rule_1 alone,
+which only f1 or f2 can install; with f2 itself quiet, a hit on f2 is
+strong evidence of a recent f1.  The model discovers this automatically
+through information gain, and the measured accuracies confirm it.
+
+Run:  python examples/web_visit_recon.py
+"""
+
+import numpy as np
+
+from repro.core.attacker import ModelAttacker, NaiveAttacker
+from repro.core.compact_model import CompactModel
+from repro.core.inference import ReconInference
+from repro.core.selection import rank_probes
+from repro.experiments.harness import ConfigHarness
+from repro.experiments.params import ExperimentParams
+from repro.flows.config import NetworkConfiguration
+from repro.flows.flowid import PROTO_TCP, FlowId, str_to_ip
+from repro.flows.policy import ModelRule, Policy
+from repro.flows.rules import Match, Rule
+from repro.flows.universe import FlowUniverse
+
+DELTA = 0.01
+WINDOW = 10.0
+CACHE = 2
+
+# Addresses chosen so wildcard masks carve the Figure 2c sets exactly:
+# low bits 01 = A (f1), 00 = C (f2), 11 = D (f3).
+HOST_A = str_to_ip("10.3.0.1")  # the victim (f1 = A -> B)
+HOST_C = str_to_ip("10.3.0.0")  # quiet neighbour (f2 = C -> B)
+HOST_D = str_to_ip("10.3.0.3")  # busy neighbour (f3 = D -> B)
+SERVER_B = str_to_ip("10.3.0.80")
+
+
+def build_scenario() -> NetworkConfiguration:
+    """Figure 2c: rule_1 covers {f1, f2}, rule_2 covers {f1, f3}."""
+    f1 = FlowId(HOST_A, SERVER_B, PROTO_TCP, 0, 80)
+    f2 = FlowId(HOST_C, SERVER_B, PROTO_TCP, 0, 80)
+    f3 = FlowId(HOST_D, SERVER_B, PROTO_TCP, 0, 80)
+    universe = FlowUniverse(
+        (f1, f2, f3),
+        (0.05, 0.01, 0.9),  # target rare, f2 quiet, f3 busy
+    )
+    # rule_1: low bits 0x -- wildcard bit 0 -> covers {00, 01} = {f2, f1}.
+    # rule_2: low bits x1 -- wildcard bit 1 -> covers {01, 11} = {f1, f3}.
+    rule_1 = Rule(
+        name="rule_1",
+        src=Match(HOST_C, 0xFFFFFFFE),
+        dst=Match.exact(SERVER_B),
+        proto=PROTO_TCP,
+        priority=200,
+        idle_timeout=8.0,
+    )
+    rule_2 = Rule(
+        name="rule_2",
+        src=Match(HOST_A, 0xFFFFFFFD),
+        dst=Match.exact(SERVER_B),
+        proto=PROTO_TCP,
+        priority=100,
+        idle_timeout=8.0,
+    )
+    flows = universe.flows
+
+    def covered(rule: Rule) -> frozenset:
+        return frozenset(i for i, f in enumerate(flows) if rule.covers(f))
+
+    policy = Policy(
+        [
+            ModelRule(0, "rule_1", covered(rule_1), int(8.0 / DELTA), 200),
+            ModelRule(1, "rule_2", covered(rule_2), int(8.0 / DELTA), 100),
+        ]
+    )
+    return NetworkConfiguration(
+        universe=universe,
+        concrete_rules=(rule_1, rule_2),
+        policy=policy,
+        cache_size=CACHE,
+        delta=DELTA,
+        window_steps=int(WINDOW / DELTA),
+        target_flow=0,
+    )
+
+
+def main() -> None:
+    config = build_scenario()
+    print("Figure 2c structure:")
+    print(config.describe())
+    print()
+
+    model = CompactModel(
+        config.policy, config.universe, config.delta, config.cache_size
+    )
+    inference = ReconInference(model, config.target_flow, config.window_steps)
+    print(f"Prior P(A did not visit B in last {WINDOW:g}s) = "
+          f"{inference.prior_absent():.3f}\n")
+
+    print("Probe ranking by information gain:")
+    names = {0: "f1 (A->B, the target)", 1: "f2 (C->B, quiet)",
+             2: "f3 (D->B, busy)"}
+    for choice in rank_probes(inference):
+        flow = choice.probes[0]
+        print(f"  {names[flow]:24s} IG = {choice.gain:.4f} bits")
+    optimal = rank_probes(inference)[0].probes[0]
+    print(f"\nThe model's optimal probe is flow #{optimal} "
+          f"({'NOT ' if optimal != 0 else ''}the target) -- "
+          "the paper's Figure 2c insight.")
+
+    naive = NaiveAttacker(config.target_flow)
+    smart = ModelAttacker(inference, n_probes=1, decision="map")
+    smart.name = "model"
+    params = ExperimentParams(n_trials=200, seed=99, trial_mode="table")
+    harness = ConfigHarness(config, params, rng=np.random.default_rng(99))
+    result = harness.run_trials(attackers=(naive, smart), n_trials=200)
+    print("\nMeasured over 200 fast trials:")
+    print(f"  naive (probe f1) accuracy = {result.accuracies['naive']:.3f}")
+    print(f"  model (probe f{optimal + 1}) accuracy = "
+          f"{result.accuracies['model']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Empirical CDF helpers (Figure 6b).
+
+Figure 6b plots the cumulative distribution, across network
+configurations, of the additive accuracy improvement the model attacker
+achieves over the naive attacker.  :func:`empirical_cdf` produces the
+step-function points; :func:`cdf_at` evaluates the fraction at a value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+
+def empirical_cdf(samples: Sequence[float]) -> List[Tuple[float, float]]:
+    """Step points ``(x, F(x))`` of the empirical CDF.
+
+    One point per distinct sample value, with ``F`` evaluated inclusively
+    (``F(x) = P(X <= x)``).
+    """
+    if not samples:
+        raise ValueError("no samples")
+    ordered = sorted(samples)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points
+
+
+def cdf_at(samples: Sequence[float], x: float) -> float:
+    """``P(X <= x)`` under the empirical distribution."""
+    if not samples:
+        raise ValueError("no samples")
+    return sum(1 for s in samples if s <= x) / len(samples)
+
+
+def survival_at(samples: Sequence[float], x: float) -> float:
+    """``P(X >= x)`` under the empirical distribution.
+
+    The paper's Figure 6b readings are of this form ("a 15% or larger
+    improvement for about 20% of network configurations").
+    """
+    if not samples:
+        raise ValueError("no samples")
+    return sum(1 for s in samples if s >= x) / len(samples)
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Inclusive empirical quantile (nearest-rank)."""
+    if not samples:
+        raise ValueError("no samples")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    ordered = sorted(samples)
+    if q == 0.0:
+        return ordered[0]
+    rank = max(1, int(-(-q * len(ordered) // 1)))  # ceil(q * n)
+    return ordered[rank - 1]

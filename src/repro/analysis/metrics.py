@@ -1,0 +1,153 @@
+"""Accuracy bookkeeping for attack evaluations.
+
+The paper's headline metric is *average accuracy*: "the ratio of the
+total number of true positive and true negative cases to the overall
+number of trials" (Section VI-B).  These helpers compute it, its
+confusion-matrix decomposition, confidence intervals, and the binned
+series underlying Figures 6a/7a/7b.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def confusion_counts(
+    pairs: Iterable[Tuple[int, int]]
+) -> Dict[str, int]:
+    """Counts of TP/TN/FP/FN from ``(truth, decision)`` pairs."""
+    counts = {"tp": 0, "tn": 0, "fp": 0, "fn": 0}
+    for truth, decision in pairs:
+        if truth not in (0, 1) or decision not in (0, 1):
+            raise ValueError(f"labels must be 0/1, got {(truth, decision)}")
+        if truth == 1 and decision == 1:
+            counts["tp"] += 1
+        elif truth == 0 and decision == 0:
+            counts["tn"] += 1
+        elif truth == 0 and decision == 1:
+            counts["fp"] += 1
+        else:
+            counts["fn"] += 1
+    return counts
+
+
+@dataclass(frozen=True)
+class Accuracy:
+    """Average accuracy with its confusion decomposition."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def trials(self) -> int:
+        """Total number of trials."""
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def value(self) -> float:
+        """The paper's average accuracy: (TP + TN) / trials."""
+        if self.trials == 0:
+            raise ValueError("no trials recorded")
+        return (self.tp + self.tn) / self.trials
+
+    @property
+    def true_positive_rate(self) -> Optional[float]:
+        """TPR (recall), or ``None`` when no positives occurred."""
+        positives = self.tp + self.fn
+        return self.tp / positives if positives else None
+
+    @property
+    def true_negative_rate(self) -> Optional[float]:
+        """TNR (specificity), or ``None`` when no negatives occurred."""
+        negatives = self.tn + self.fp
+        return self.tn / negatives if negatives else None
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[Tuple[int, int]]) -> "Accuracy":
+        """Build from ``(truth, decision)`` pairs."""
+        counts = confusion_counts(pairs)
+        return cls(**counts)
+
+
+def accuracy_from_pairs(pairs: Iterable[Tuple[int, int]]) -> float:
+    """Shortcut: average accuracy of ``(truth, decision)`` pairs."""
+    return Accuracy.from_pairs(pairs).value
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    centre = phat + z * z / (2 * trials)
+    margin = z * math.sqrt(
+        (phat * (1 - phat) + z * z / (4 * trials)) / trials
+    )
+    return ((centre - margin) / denom, (centre + margin) / denom)
+
+
+@dataclass
+class BinnedSeries:
+    """Values grouped into labelled bins (Figure 6a/7b x-axes).
+
+    ``edges`` are the bin boundaries; a value ``v`` lands in bin ``i``
+    when ``edges[i] <= v < edges[i+1]`` (the last bin is closed above).
+    """
+
+    edges: Sequence[float]
+    values: List[List[float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.edges) < 2:
+            raise ValueError("need at least two bin edges")
+        if sorted(self.edges) != list(self.edges):
+            raise ValueError("bin edges must be increasing")
+        if not self.values:
+            self.values = [[] for _ in range(len(self.edges) - 1)]
+
+    @property
+    def n_bins(self) -> int:
+        """Number of bins."""
+        return len(self.edges) - 1
+
+    def bin_of(self, x: float) -> Optional[int]:
+        """Index of the bin containing ``x``, or ``None`` if outside."""
+        if x < self.edges[0] or x > self.edges[-1]:
+            return None
+        for i in range(self.n_bins):
+            if self.edges[i] <= x < self.edges[i + 1]:
+                return i
+        return self.n_bins - 1  # x == last edge
+
+    def add(self, x: float, value: float) -> bool:
+        """Record ``value`` at position ``x``; False if out of range."""
+        index = self.bin_of(x)
+        if index is None:
+            return False
+        self.values[index].append(value)
+        return True
+
+    def means(self) -> List[Optional[float]]:
+        """Per-bin means (``None`` for empty bins)."""
+        return [
+            sum(vals) / len(vals) if vals else None for vals in self.values
+        ]
+
+    def counts(self) -> List[int]:
+        """Per-bin sample counts."""
+        return [len(vals) for vals in self.values]
+
+    def centers(self) -> List[float]:
+        """Bin midpoints."""
+        return [
+            (self.edges[i] + self.edges[i + 1]) / 2 for i in range(self.n_bins)
+        ]

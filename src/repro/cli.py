@@ -1,0 +1,364 @@
+"""Command-line entry point: ``repro-sdn <experiment> [options]``.
+
+Subcommands map one-to-one onto the paper's evaluation artifacts::
+
+    repro-sdn demo                    # one end-to-end attack walkthrough
+    repro-sdn fig6a [--configs N --trials N --seed S]
+    repro-sdn fig6b [...]
+    repro-sdn fig7a [...]
+    repro-sdn fig7b [...]
+    repro-sdn timing [--samples N]
+    repro-sdn statecount
+    repro-sdn headline [...]
+
+Every command prints the same plain-text tables the benchmark suite
+emits, so results are scriptable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.params import ExperimentParams
+
+
+def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
+    return ExperimentParams(
+        n_configs=args.configs,
+        n_trials=args.trials,
+        seed=args.seed,
+        trial_mode=args.mode,
+    )
+
+
+def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--configs", type=int, default=12,
+        help="configurations to sample (paper: 100)",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=30,
+        help="trials per configuration (paper: 100)",
+    )
+    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
+    parser.add_argument(
+        "--mode", choices=("network", "table"), default="network",
+        help="trial fidelity: packet-level network or fast table replay",
+    )
+    parser.add_argument(
+        "--save", type=str, default=None, metavar="PATH",
+        help="also archive the run as JSON (see repro.experiments.persist)",
+    )
+
+
+def _maybe_save(args: argparse.Namespace, result) -> None:
+    path = getattr(args, "save", None)
+    if path:
+        from repro.experiments.persist import save_result
+
+        saved = save_result(result, path)
+        print(f"saved run to {saved}")
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import quick_attack_demo
+
+    print(quick_attack_demo(seed=args.seed if args.seed is not None else 7))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace, which: str) -> int:
+    from repro.experiments.fig6 import run_fig6
+    from repro.experiments.report import format_cdf, format_series, format_table
+
+    params = _experiment_params(args)
+    result = run_fig6(params)
+    _maybe_save(args, result)
+    if which == "a":
+        print(
+            format_series(
+                "P(absent)",
+                result.bin_centers(),
+                result.accuracy_series(),
+                title="Figure 6a: average accuracy vs P(absence of target)",
+            )
+        )
+    else:
+        print(
+            format_cdf(
+                result.improvement_cdf(),
+                title="Figure 6b: CDF of improvement over naive attacker",
+            )
+        )
+    headline = result.headline()
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in headline.items()],
+            title="Headline statistics",
+        )
+    )
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace, which: str) -> int:
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.report import format_series, format_table
+
+    params = _experiment_params(args)
+    result = run_fig7(params)
+    _maybe_save(args, result)
+    if which == "a":
+        table = result.accuracy_by_covering_count()
+        rows = [
+            [count, row["constrained"], row["naive"], row["random"],
+             int(row["n_configs"])]
+            for count, row in table.items()
+        ]
+        print(
+            format_table(
+                ["#covering rules", "constrained", "naive", "random", "configs"],
+                rows,
+                title="Figure 7a: accuracy vs rules covering the target",
+            )
+        )
+    else:
+        print(
+            format_series(
+                "P(absent)",
+                result.bin_centers(),
+                result.accuracy_series(),
+                title="Figure 7b: accuracy vs P(absence of target)",
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in result.summary().items()],
+            title="Summary",
+        )
+    )
+    return 0
+
+
+def _cmd_timing(args: argparse.Namespace) -> int:
+    from repro.experiments.report import paper_vs_measured
+    from repro.experiments.tables import timing_table
+
+    table = timing_table(n_samples=args.samples, seed=args.seed or 0)
+    hit, miss = table["hit"], table["miss"]
+    print(
+        paper_vs_measured(
+            [
+                ("hit mean (ms)", hit.paper_mean * 1e3, hit.mean * 1e3),
+                ("hit std (ms)", hit.paper_std * 1e3, hit.std * 1e3),
+                ("miss mean (ms)", miss.paper_mean * 1e3, miss.mean * 1e3),
+                ("miss std (ms)", miss.paper_std * 1e3, miss.std * 1e3),
+            ],
+            title="Section VI-A probe latency characterisation",
+        )
+    )
+    print(
+        f"\nthreshold = {table['threshold'] * 1e3:g} ms, "
+        f"classification accuracy = {table['threshold_accuracy']:.4f}"
+    )
+    return 0
+
+
+def _cmd_leakage(args: argparse.Namespace) -> int:
+    from repro.analysis.leakage import compare_structures, leakage_map
+    from repro.countermeasures.transform import (
+        merge_to_coarse,
+        split_to_microflows,
+    )
+    from repro.experiments.report import format_table
+    from repro.flows.config import ConfigGenerator, ConfigParams
+
+    params = ConfigParams(
+        n_flows=args.flows,
+        mask_bits=args.flows.bit_length() - 1,
+        n_rules=args.rules,
+        cache_size=args.cache,
+    )
+    config = ConfigGenerator(params, seed=args.seed).sample()
+    kwargs = dict(
+        universe=config.universe,
+        delta=config.delta,
+        cache_size=config.cache_size,
+        window_steps=config.window_steps,
+    )
+    leaks = leakage_map(config.policy, **kwargs)
+    print(
+        format_table(
+            ["flow", "lambda (1/s)", "best-probe IG (bits)"],
+            [
+                [flow, config.universe.rates[flow], bits]
+                for flow, bits in sorted(leaks.items(), key=lambda kv: -kv[1])
+            ],
+            title="Per-flow leakage map (Section VII-B3 defender tool)",
+        )
+    )
+    rows = compare_structures(
+        {
+            "original": config.policy,
+            "microflow split": split_to_microflows(config.policy),
+            "coarse merge": merge_to_coarse(
+                config.policy, max(1, len(config.policy) // 3)
+            ),
+        },
+        **kwargs,
+    )
+    print()
+    print(
+        format_table(
+            ["structure", "#rules", "worst target", "worst IG", "mean IG"],
+            [
+                [
+                    r["structure"],
+                    r["n_rules"],
+                    r["worst_target"],
+                    r["worst_leakage_bits"],
+                    r["mean_leakage_bits"],
+                ]
+                for r in rows
+            ],
+            title="Candidate rule structures",
+        )
+    )
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments.reproduce import reproduce_all
+
+    report = reproduce_all(
+        scale=args.scale,
+        seed=args.seed,
+        trial_mode=args.mode,
+    )
+    print(report.render())
+    if args.out:
+        directory = report.save(args.out)
+        print(f"\narchived run under {directory}")
+    return 0
+
+
+def _cmd_statecount(_: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+    from repro.experiments.tables import statecount_report
+
+    report = statecount_report()
+    exp = report["experiment"]
+    example = report["paper_example"]
+    print(
+        format_table(
+            ["setting", "basic model states", "compact model states"],
+            [
+                [
+                    f"evaluation (|Rules|={exp['n_rules']}, t={exp['timeout']}, "
+                    f"n={exp['cache_size']})",
+                    exp["basic"],
+                    exp["compact"],
+                ],
+                [
+                    f"paper example (|Rules|={example['n_rules']}, "
+                    f"t={example['timeout']}, n={example['cache_size']})",
+                    example["basic_formula"],
+                    "-",
+                ],
+            ],
+            title="State-space sizes (Sections IV-A2 / IV-B)",
+        )
+    )
+    print(
+        "\nnote: the paper quotes ~5.9e7 for its example; the printed "
+        "formula evaluates to the figure above (see EXPERIMENTS.md)."
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sdn",
+        description=(
+            "Reproduction of 'Flow Reconnaissance via Timing Attacks on "
+            "SDN Switches' (ICDCS 2017)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="one end-to-end attack walkthrough")
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(func=_cmd_demo)
+
+    for fig, runner in (
+        ("fig6a", lambda a: _cmd_fig6(a, "a")),
+        ("fig6b", lambda a: _cmd_fig6(a, "b")),
+        ("fig7a", lambda a: _cmd_fig7(a, "a")),
+        ("fig7b", lambda a: _cmd_fig7(a, "b")),
+    ):
+        p = sub.add_parser(fig, help=f"reproduce {fig}")
+        _add_experiment_args(p)
+        p.set_defaults(func=runner)
+
+    headline = sub.add_parser(
+        "headline", help="the paper's summary statistics (fig6 pipeline)"
+    )
+    _add_experiment_args(headline)
+    headline.set_defaults(func=lambda a: _cmd_fig6(a, "b"))
+
+    timing = sub.add_parser("timing", help="Section VI-A latency table")
+    timing.add_argument("--samples", type=int, default=300)
+    timing.add_argument("--seed", type=int, default=0)
+    timing.set_defaults(func=_cmd_timing)
+
+    statecount = sub.add_parser(
+        "statecount", help="Section IV state-space comparison"
+    )
+    statecount.set_defaults(func=_cmd_statecount)
+
+    leakage = sub.add_parser(
+        "leakage", help="defender-side rule-structure leakage audit"
+    )
+    leakage.add_argument(
+        "--flows", type=int, default=8,
+        help="universe size (a power of two; default 8 for speed)",
+    )
+    leakage.add_argument("--rules", type=int, default=8)
+    leakage.add_argument("--cache", type=int, default=4)
+    leakage.add_argument("--seed", type=int, default=12)
+    leakage.set_defaults(func=_cmd_leakage)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate every paper artifact in one run"
+    )
+    reproduce.add_argument(
+        "--scale", type=float, default=0.1,
+        help="fraction of the paper's 100 configs x 100 trials",
+    )
+    reproduce.add_argument("--seed", type=int, default=2017)
+    reproduce.add_argument(
+        "--mode", choices=("network", "table"), default="table"
+    )
+    reproduce.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="archive figures (JSON) and the report under DIR",
+    )
+    reproduce.set_defaults(func=_cmd_reproduce)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (installed as ``repro-sdn``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

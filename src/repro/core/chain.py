@@ -1,0 +1,133 @@
+"""Markov chain utilities shared by the basic and compact models.
+
+Conventions: distributions are 1-D numpy row vectors; transition matrices
+``A`` satisfy ``A[i, j] = P(state_i -> state_j)``, so one step of
+evolution is ``d @ A``.  The paper writes the same computation as
+``I_T = A^T I_0`` with column vectors (Eqn. 8).
+
+Matrices may be *substochastic* (rows summing to less than one) when the
+target flow's transitions have been removed to compute joint events with
+``X̂ = 0`` (Section V-A); the missing mass is exactly the probability of
+the target flow having occurred.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+
+MatrixLike = Union[np.ndarray, sparse.spmatrix]
+
+
+def evolve(
+    distribution: np.ndarray, matrix: MatrixLike, steps: int
+) -> np.ndarray:
+    """Apply ``steps`` chain steps: ``d <- d @ A`` repeated.
+
+    Works for dense and scipy-sparse matrices.  ``steps == 0`` returns a
+    copy of the input distribution.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    current = np.asarray(distribution, dtype=np.float64).copy()
+    for _ in range(steps):
+        current = current @ matrix
+        current = np.asarray(current).ravel()
+    return current
+
+
+def point_distribution(size: int, index: int) -> np.ndarray:
+    """Distribution concentrated on one state."""
+    if not 0 <= index < size:
+        raise IndexError(f"state index {index} out of range for size {size}")
+    dist = np.zeros(size, dtype=np.float64)
+    dist[index] = 1.0
+    return dist
+
+
+def row_sums(matrix: MatrixLike) -> np.ndarray:
+    """Per-row transition mass (1.0 for a proper stochastic matrix)."""
+    if sparse.issparse(matrix):
+        return np.asarray(matrix.sum(axis=1)).ravel()
+    return np.asarray(matrix).sum(axis=1)
+
+
+def validate_stochastic(
+    matrix: MatrixLike, atol: float = 1e-9, substochastic: bool = False
+) -> None:
+    """Raise ``ValueError`` unless rows sum to one (or at most one).
+
+    With ``substochastic=True``, rows may sum to anything in ``[0, 1]``
+    (the target-excluded matrices of Section V-A).
+    """
+    sums = row_sums(matrix)
+    if substochastic:
+        if (sums > 1.0 + atol).any() or (sums < -atol).any():
+            raise ValueError("matrix is not substochastic")
+        return
+    if not np.allclose(sums, 1.0, atol=atol):
+        worst = int(np.argmax(np.abs(sums - 1.0)))
+        raise ValueError(
+            f"matrix is not row-stochastic: row {worst} sums to {sums[worst]!r}"
+        )
+
+
+def stationary_distribution(
+    matrix: MatrixLike,
+    tol: float = 1e-12,
+    max_iterations: int = 100000,
+    initial: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Stationary distribution by power iteration.
+
+    Suitable for the irreducible, aperiodic chains produced by the models
+    (every state reaches the empty cache through timeouts, and the empty
+    cache has a self-loop through the no-arrival event).
+    """
+    if sparse.issparse(matrix):
+        size = matrix.shape[0]
+    else:
+        size = np.asarray(matrix).shape[0]
+    current = (
+        np.full(size, 1.0 / size)
+        if initial is None
+        else np.asarray(initial, dtype=np.float64).copy()
+    )
+    for _ in range(max_iterations):
+        nxt = np.asarray(current @ matrix).ravel()
+        if np.abs(nxt - current).max() < tol:
+            return nxt
+        current = nxt
+    raise RuntimeError("power iteration did not converge")
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance between two distributions."""
+    return float(0.5 * np.abs(np.asarray(p) - np.asarray(q)).sum())
+
+
+def per_flow_step_probabilities(
+    step_rates: np.ndarray,
+) -> Tuple[np.ndarray, float]:
+    """Normalised per-step event probabilities for Poisson arrivals.
+
+    The paper assigns each rule the unnormalised probability
+    ``(gamma e^{-gamma}) e^{-Gamma}`` of being the step's (single) arrival
+    and then normalises over all transitions (Section IV-A1).  Decomposed
+    per flow, the unnormalised weights are ``lambda_f Delta e^{-Lambda
+    Delta}`` for each flow and ``e^{-Lambda Delta}`` for "no arrival";
+    after normalisation:
+
+    ``p_f = lambda_f Delta / (1 + Lambda Delta)``,
+    ``p_none = 1 / (1 + Lambda Delta)``.
+
+    Returns ``(p_flows, p_none)``; the decomposition is what allows the
+    target flow's transitions to be zeroed exactly (Section V-A).
+    """
+    rates = np.asarray(step_rates, dtype=np.float64)
+    if (rates < 0).any():
+        raise ValueError("negative step rates")
+    denominator = 1.0 + float(rates.sum())
+    return rates / denominator, 1.0 / denominator

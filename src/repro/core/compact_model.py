@@ -1,0 +1,363 @@
+"""The compact Markov model of the switch cache (Section IV-B).
+
+States are the subsets of the policy's rules of size at most the cache
+capacity ``n`` (the paper counts ``sum_{k=1..n} C(|Rules|, k)`` non-empty
+states; the empty cache is included as the chain's natural start state).
+Each step of duration ``Delta`` carries at most one flow arrival; the
+per-flow/no-arrival probabilities come from the normalised Poisson
+decomposition (:func:`repro.core.chain.per_flow_step_probabilities`).
+
+Transition semantics per state ``S``:
+
+* **arrival of flow f, hit** -- some cached rule covers ``f``; the set is
+  unchanged (the matched rule's timer resets invisibly).
+* **arrival of flow f, miss + install** -- no cached rule covers ``f``
+  and the policy does; the controller installs the highest-priority
+  covering rule ``j``.  If ``|S| = n`` one cached rule is evicted,
+  split across the recency estimator's eviction distribution.
+* **arrival of flow f, uncovered** -- the policy does not cover ``f``;
+  the controller forwards without installing (set unchanged).
+* **no arrival** -- set unchanged before expirations.
+
+After the arrival phase, each cached rule that was not matched or
+installed this step expires with its per-step timeout hazard from the
+recency estimator.  By default at most one expiration is modelled per
+step (matching the paper's Figure 5 transitions), with the at-most-one
+branch probabilities renormalised; ``multi_expiry=True`` instead
+enumerates all expiry subsets as independent events.
+
+Every transition entry is tagged with the flow that caused it (or ``-1``
+for the no-arrival event), so the target-excluded substochastic matrix
+needed for ``P(X̂ = 0 ∧ Q_f = q)`` (Section V-A) is produced by dropping
+exactly one flow's entries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.chain import per_flow_step_probabilities
+from repro.core.context import ModelContext
+from repro.core.masks import enumerate_subsets, indices_from_mask, popcount
+from repro.core.recency import (
+    IndependentRecencyEstimator,
+    RecencyEstimator,
+)
+from repro.flows.policy import Policy
+from repro.flows.universe import FlowUniverse
+
+#: Flow tag used for the no-arrival event in transition entries.
+NO_FLOW = -1
+
+
+class CompactModel:
+    """Compact chain over cached-rule sets.
+
+    Parameters
+    ----------
+    policy, universe, delta, cache_size:
+        The modelled switch: abstract rules with priorities and step
+        timeouts, the flow universe with Poisson rates, the step duration
+        ``Delta`` (seconds), and the cache capacity ``n``.
+    estimator:
+        Recency estimator supplying eviction and timeout probabilities;
+        defaults to :class:`IndependentRecencyEstimator`.
+    multi_expiry:
+        Model simultaneous expirations of several rules in one step
+        (exact independent product) instead of the at-most-one
+        approximation.
+    expire_on_arrival:
+        Apply expiration hazards on arrival steps too (timers run every
+        step, as in the basic model), not only on no-arrival steps.
+    """
+
+    def __init__(
+        self,
+        policy: Policy,
+        universe: FlowUniverse,
+        delta: float,
+        cache_size: int,
+        estimator: Optional[RecencyEstimator] = None,
+        multi_expiry: bool = False,
+        expire_on_arrival: bool = True,
+    ):
+        self.context = ModelContext(policy, universe, delta, cache_size)
+        self.estimator = estimator or IndependentRecencyEstimator(self.context)
+        if self.estimator.context is not self.context:
+            # Allow callers to pass an estimator built on an equivalent
+            # context; rebind so memoisation keys stay consistent.
+            self.estimator.context = self.context
+        self.multi_expiry = multi_expiry
+        self.expire_on_arrival = expire_on_arrival
+
+        self.states: List[int] = enumerate_subsets(
+            self.context.n_rules, cache_size
+        )
+        self.state_index: Dict[int, int] = {
+            state: index for index, state in enumerate(self.states)
+        }
+        self.n_states = len(self.states)
+
+        self._entries: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # Public conveniences
+    # ------------------------------------------------------------------
+    @property
+    def policy(self) -> Policy:
+        """The underlying abstract policy."""
+        return self.context.policy
+
+    @property
+    def empty_state_index(self) -> int:
+        """Index of the empty-cache state (the standard start state)."""
+        return self.state_index[0]
+
+    def state_rules(self, index: int) -> FrozenSet[int]:
+        """Cached rule indices of the state at ``index``."""
+        return frozenset(indices_from_mask(self.states[index]))
+
+    def state_covers_flow(self, index: int, flow: int) -> bool:
+        """Whether the state at ``index`` would answer probe ``f`` with a hit."""
+        return self.context.state_covers(flow, self.states[index])
+
+    def eviction_distribution(self, state: int) -> Dict[int, float]:
+        """Eviction split for a (bitmask) state, from the estimator."""
+        return self.estimator.stats(state).eviction
+
+    # ------------------------------------------------------------------
+    # Transition construction
+    # ------------------------------------------------------------------
+    def _state_hazard_data(
+        self, pre_state: int
+    ) -> Tuple[int, List[Tuple[int, float]]]:
+        """Precompute expiry data for a pre-step state.
+
+        Returns ``(certain_mask, candidates)`` where ``certain_mask``
+        marks rules that expire deterministically this step (hazard 1,
+        e.g. a one-step timeout) unless matched, and ``candidates`` are
+        the ``(rule, hazard)`` pairs with hazard strictly inside (0, 1).
+        """
+        hazards = self.estimator.stats(pre_state).timeout_hazards
+        certain_mask = 0
+        candidates: List[Tuple[int, float]] = []
+        for rule, hazard in hazards.items():
+            if hazard >= 1.0:
+                certain_mask |= 1 << rule
+            elif hazard > 0.0:
+                candidates.append((rule, hazard))
+        return certain_mask, candidates
+
+    def _expiry_branches_from(
+        self,
+        interim: int,
+        protected: Optional[int],
+        certain_mask: int,
+        candidates: List[Tuple[int, float]],
+    ) -> List[Tuple[int, float]]:
+        """Split ``interim`` across expiration outcomes.
+
+        ``protected`` is the rule matched or installed this step (its
+        timer was just reset/started, so it cannot expire); hazards come
+        from the *pre-step* state, whose recency distribution the timers
+        reflect.
+        """
+        protected_bit = 0 if protected is None else (1 << protected)
+        interim &= ~(certain_mask & ~protected_bit)
+        live = [
+            (rule, hazard)
+            for rule, hazard in candidates
+            if interim & (1 << rule) and rule != protected
+        ]
+        if not live:
+            return [(interim, 1.0)]
+        if self.multi_expiry:
+            branches: List[Tuple[int, float]] = [(interim, 1.0)]
+            for rule, hazard in live:
+                updated: List[Tuple[int, float]] = []
+                for state, prob in branches:
+                    updated.append((state, prob * (1.0 - hazard)))
+                    updated.append((state & ~(1 << rule), prob * hazard))
+                branches = updated
+            return branches
+        # At-most-one-expiry approximation, renormalised.
+        keep_all = 1.0
+        for _, hazard in live:
+            keep_all *= 1.0 - hazard
+        weights: List[Tuple[int, float]] = [(interim, keep_all)]
+        total = keep_all
+        for rule, hazard in live:
+            weight = hazard
+            for other, other_hazard in live:
+                if other != rule:
+                    weight *= 1.0 - other_hazard
+            weights.append((interim & ~(1 << rule), weight))
+            total += weight
+        return [(state, prob / total) for state, prob in weights]
+
+    def _expiry_branches(
+        self, interim: int, protected: Optional[int], pre_state: int
+    ) -> List[Tuple[int, float]]:
+        """Back-compat single-call expiry split (used by tests)."""
+        certain_mask, candidates = self._state_hazard_data(pre_state)
+        return self._expiry_branches_from(
+            interim, protected, certain_mask, candidates
+        )
+
+    def _arrival_outcomes(
+        self, state: int, flow: int
+    ) -> List[Tuple[int, Optional[int], float]]:
+        """(interim state, protected rule, weight) outcomes of one arrival."""
+        ctx = self.context
+        matched = ctx.match_in_cache(flow, state)
+        if matched is not None:
+            return [(state, matched, 1.0)]
+        installed = ctx.install_rule[flow]
+        if installed is None:
+            return [(state, None, 1.0)]
+        if popcount(state) < ctx.cache_size:
+            return [(state | (1 << installed), installed, 1.0)]
+        eviction = self.eviction_distribution(state)
+        outcomes: List[Tuple[int, Optional[int], float]] = []
+        for victim, prob in eviction.items():
+            if prob <= 0.0:
+                continue
+            next_state = (state & ~(1 << victim)) | (1 << installed)
+            outcomes.append((next_state, installed, prob))
+        return outcomes
+
+    def _build_entries(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """All transition entries as (rows, cols, probs, flow tags)."""
+        ctx = self.context
+        p_flows, p_none = per_flow_step_probabilities(
+            np.asarray(ctx.step_rates)
+        )
+        rows: List[int] = []
+        cols: List[int] = []
+        probs: List[float] = []
+        tags: List[int] = []
+        state_index = self.state_index
+
+        for row, state in enumerate(self.states):
+            certain_mask, candidates = self._state_hazard_data(state)
+            branch_cache: Dict[
+                Tuple[int, Optional[int]], List[Tuple[int, float]]
+            ] = {}
+
+            def emit(
+                interim: int, protected: Optional[int],
+                base_prob: float, tag: int,
+            ) -> None:
+                if self.expire_on_arrival or tag == NO_FLOW:
+                    key = (interim, protected)
+                    branches = branch_cache.get(key)
+                    if branches is None:
+                        branches = self._expiry_branches_from(
+                            interim, protected, certain_mask, candidates
+                        )
+                        branch_cache[key] = branches
+                else:
+                    branches = ((interim, 1.0),)
+                for branch_state, branch_prob in branches:
+                    probability = base_prob * branch_prob
+                    if probability <= 0.0:
+                        continue
+                    rows.append(row)
+                    cols.append(state_index[branch_state])
+                    probs.append(probability)
+                    tags.append(tag)
+
+            emit(state, None, p_none, NO_FLOW)
+            for flow in range(ctx.n_flows):
+                p_flow = float(p_flows[flow])
+                if p_flow <= 0.0:
+                    continue
+                for interim, protected, weight in self._arrival_outcomes(
+                    state, flow
+                ):
+                    emit(interim, protected, p_flow * weight, flow)
+
+        return (
+            np.asarray(rows, dtype=np.int64),
+            np.asarray(cols, dtype=np.int64),
+            np.asarray(probs, dtype=np.float64),
+            np.asarray(tags, dtype=np.int64),
+        )
+
+    def _ensure_entries(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        if self._entries is None:
+            self._entries = self._build_entries()
+        return self._entries
+
+    def transition_matrix(
+        self, exclude_flows: Iterable[int] = ()
+    ) -> sparse.csr_matrix:
+        """The chain's transition matrix, optionally dropping flows.
+
+        With ``exclude_flows`` empty the matrix is row-stochastic; with
+        flows excluded it is substochastic (the dropped mass equals the
+        per-step probability of an excluded flow arriving), implementing
+        the Section V-A construction for ``P(X̂ = 0 ∧ ...)``.
+        """
+        rows, cols, probs, tags = self._ensure_entries()
+        excluded = set(exclude_flows)
+        if excluded:
+            keep = ~np.isin(tags, list(excluded))
+            rows, cols, probs = rows[keep], cols[keep], probs[keep]
+        matrix = sparse.coo_matrix(
+            (probs, (rows, cols)), shape=(self.n_states, self.n_states)
+        )
+        return matrix.tocsr()
+
+    # ------------------------------------------------------------------
+    # Distribution evolution
+    # ------------------------------------------------------------------
+    def initial_distribution(
+        self, state: Optional[FrozenSet[int]] = None
+    ) -> np.ndarray:
+        """Point distribution at ``state`` (default: empty cache)."""
+        from repro.core.chain import point_distribution
+        from repro.core.masks import mask_from_indices
+
+        mask = 0 if state is None else mask_from_indices(state)
+        return point_distribution(self.n_states, self.state_index[mask])
+
+    def distribution_after(
+        self,
+        steps: int,
+        initial: Optional[np.ndarray] = None,
+        exclude_flows: Iterable[int] = (),
+    ) -> np.ndarray:
+        """``I_T = A^T I_0`` (Eqn. 8), row-vector convention."""
+        from repro.core.chain import evolve
+
+        matrix = self.transition_matrix(exclude_flows)
+        start = self.initial_distribution() if initial is None else initial
+        return evolve(start, matrix, steps)
+
+    def rule_presence_marginals(self, distribution: np.ndarray) -> np.ndarray:
+        """``P(rule_j in cache)`` for each rule, under a state distribution."""
+        marginals = np.zeros(self.context.n_rules)
+        for index, state in enumerate(self.states):
+            weight = float(distribution[index])
+            if weight == 0.0:
+                continue
+            for rule in indices_from_mask(state):
+                marginals[rule] += weight
+        return marginals
+
+    def occupancy_distribution(self, distribution: np.ndarray) -> np.ndarray:
+        """Distribution of the number of cached rules."""
+        occupancy = np.zeros(self.context.cache_size + 1)
+        for index, state in enumerate(self.states):
+            occupancy[popcount(state)] += float(distribution[index])
+        return occupancy

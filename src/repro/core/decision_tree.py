@@ -1,0 +1,119 @@
+"""The non-adaptive multi-probe decision tree (Section V-B).
+
+"By selecting a sequence of probe flows, the adversary actually
+constructs a decision tree with each layer corresponding to an attack
+flow.  The leaf nodes of the tree are the decisions whether the flow f̂
+occurred or not according to the conditional distribution
+P(X̂ | Q_{f_1}, ..., Q_{f_m})."
+
+:class:`DecisionTree` materialises that object from an
+:class:`~repro.core.inference.OutcomeTable`: each root-to-leaf path is
+one probe-outcome vector, each leaf stores the MAP decision and its
+posterior.  The tree doubles as the classifier the attacker runs after
+observing real probe outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.core.gain import Outcome
+from repro.core.inference import OutcomeTable, ReconInference
+
+
+@dataclass(frozen=True)
+class Leaf:
+    """One leaf: the decision for a full probe-outcome vector."""
+
+    outcome: Outcome
+    decision: int
+    posterior_present: float
+    probability: float
+
+
+class DecisionTree:
+    """Outcome-vector classifier for a fixed probe sequence."""
+
+    def __init__(self, table: OutcomeTable):
+        self.probes = table.probes
+        self._leaves: Dict[Outcome, Leaf] = {}
+        for outcome, p_q in table.outcome_probs.items():
+            posterior = table.posterior_present(outcome)
+            self._leaves[outcome] = Leaf(
+                outcome=outcome,
+                decision=1 if posterior > 0.5 else 0,
+                posterior_present=posterior,
+                probability=p_q,
+            )
+        self._default_decision = self._majority_decision()
+
+    @classmethod
+    def build(
+        cls, inference: ReconInference, probes: Sequence[int]
+    ) -> "DecisionTree":
+        """Build the tree for ``probes`` from a fitted inference object."""
+        return cls(inference.outcome_table(tuple(probes)))
+
+    def _majority_decision(self) -> int:
+        """Decision for never-predicted outcomes: the prior MAP."""
+        present_mass = sum(
+            leaf.posterior_present * leaf.probability
+            for leaf in self._leaves.values()
+        )
+        total = sum(leaf.probability for leaf in self._leaves.values())
+        if total <= 0.0:
+            return 0
+        return 1 if present_mass / total > 0.5 else 0
+
+    @property
+    def leaves(self) -> Tuple[Leaf, ...]:
+        """All leaves, ordered by outcome vector."""
+        return tuple(
+            self._leaves[key] for key in sorted(self._leaves.keys())
+        )
+
+    def predict(self, outcome: Sequence[int]) -> int:
+        """Classify an observed outcome vector.
+
+        Outcomes the model assigned zero probability fall back to the
+        prior MAP decision (they can still occur in reality because the
+        model is approximate).
+        """
+        key = tuple(int(bit) for bit in outcome)
+        if len(key) != len(self.probes):
+            raise ValueError(
+                f"expected {len(self.probes)} outcome bits, got {len(key)}"
+            )
+        leaf = self._leaves.get(key)
+        if leaf is None:
+            return self._default_decision
+        return leaf.decision
+
+    def expected_accuracy(self) -> float:
+        """Model-predicted accuracy of the MAP decisions.
+
+        For each leaf the decision is correct with probability
+        ``max(posterior, 1 - posterior)``; weight by leaf probability.
+        """
+        total = sum(leaf.probability for leaf in self._leaves.values())
+        if total <= 0.0:
+            return 0.5
+        weighted = sum(
+            max(leaf.posterior_present, 1.0 - leaf.posterior_present)
+            * leaf.probability
+            for leaf in self._leaves.values()
+        )
+        return weighted / total
+
+    def describe(self) -> str:
+        """Multi-line rendering of the tree's leaves."""
+        lines = [f"probes: {list(self.probes)}"]
+        for leaf in self.leaves:
+            bits = "".join(str(b) for b in leaf.outcome)
+            lines.append(
+                f"  Q={bits}  ->  X̂={leaf.decision} "
+                f"(P(X̂=1|Q)={leaf.posterior_present:.3f}, "
+                f"P(Q)={leaf.probability:.3f})"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Reconnaissance inference: ``P(Q)``, ``P(X̂ ∧ Q)``, posteriors.
+
+This module implements Section V's probability computations on top of a
+:class:`~repro.core.compact_model.CompactModel`:
+
+* Evolve the chain ``T`` steps to the cache-state distribution
+  ``I_T = A^T I_0`` (Eqn. 8).
+* Evolve the *target-excluded* substochastic chain to the joint
+  weighting whose total mass is ``P(X̂ = 0)`` and whose per-state mass
+  is ``P(X̂ = 0 ∧ state)``.
+* Push both weightings through any probe sequence (accounting for the
+  probes' own cache perturbations) to obtain ``P(Q = q)`` and
+  ``P(X̂ = 0 ∧ Q = q)`` for every outcome vector ``q``, hence
+  posteriors and information gains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.chain import evolve
+from repro.core.compact_model import CompactModel
+from repro.core.gain import (
+    Outcome,
+    binary_entropy,
+    conditional_entropy_binary,
+    information_gain,
+)
+from repro.core.probe import walk_probes
+
+
+@dataclass(frozen=True)
+class OutcomeTable:
+    """Joint outcome probabilities for one probe sequence.
+
+    ``outcome_probs[q] = P(Q = q)`` and
+    ``joint_absent[q] = P(X̂ = 0 ∧ Q = q)``.
+    """
+
+    probes: Tuple[int, ...]
+    outcome_probs: Dict[Outcome, float]
+    joint_absent: Dict[Outcome, float]
+
+    def posterior_absent(self, outcome: Outcome) -> float:
+        """``P(X̂ = 0 | Q = outcome)``; 0.5 for impossible outcomes."""
+        p_q = self.outcome_probs.get(outcome, 0.0)
+        if p_q <= 0.0:
+            return 0.5
+        p_joint = min(max(self.joint_absent.get(outcome, 0.0), 0.0), p_q)
+        return p_joint / p_q
+
+    def posterior_present(self, outcome: Outcome) -> float:
+        """``P(X̂ = 1 | Q = outcome)``."""
+        return 1.0 - self.posterior_absent(outcome)
+
+    def decide(self, outcome: Outcome) -> int:
+        """MAP decision: 1 iff the target more likely occurred."""
+        return 1 if self.posterior_present(outcome) > 0.5 else 0
+
+
+class ReconInference:
+    """Precomputed inference state for one target flow and window.
+
+    Parameters
+    ----------
+    model:
+        The compact switch model.
+    target_flow:
+        Universe index of the target flow ``f̂``.
+    window_steps:
+        The detection window ``T`` in steps.
+    initial:
+        Optional initial state distribution (default: empty cache).
+    """
+
+    def __init__(
+        self,
+        model: CompactModel,
+        target_flow: int,
+        window_steps: int,
+        initial: Optional[np.ndarray] = None,
+        precomputed_full: Optional[np.ndarray] = None,
+    ):
+        if window_steps < 0:
+            raise ValueError("window_steps must be non-negative")
+        self.model = model
+        self.target_flow = int(target_flow)
+        self.window_steps = int(window_steps)
+
+        start = model.initial_distribution() if initial is None else initial
+        matrix_absent = model.transition_matrix(
+            exclude_flows=(self.target_flow,)
+        )
+        if precomputed_full is not None:
+            # The full-chain distribution does not depend on the target;
+            # callers fitting many targets on one model (e.g. leakage
+            # maps) compute it once and pass it in.
+            self.dist_full = np.asarray(precomputed_full, dtype=np.float64)
+        else:
+            matrix_full = model.transition_matrix()
+            #: ``I_T``: distribution over cache states after ``T`` steps.
+            self.dist_full = evolve(start, matrix_full, window_steps)
+        #: Substochastic weighting: mass[state] = P(X̂=0 ∧ state).
+        self.dist_absent = evolve(start, matrix_absent, window_steps)
+        self._table_cache: Dict[Tuple[int, ...], OutcomeTable] = {}
+
+    # ------------------------------------------------------------------
+    # Priors
+    # ------------------------------------------------------------------
+    def prior_absent(self) -> float:
+        """Chain-consistent ``P(X̂ = 0)``: total target-excluded mass.
+
+        Equals ``(1 - p_f̂)^T`` for the normalised chain; the paper's
+        closed form ``e^{-lambda T Delta}`` is
+        :meth:`prior_absent_poisson`.
+        """
+        return float(self.dist_absent.sum())
+
+    def prior_absent_poisson(self) -> float:
+        """The paper's closed-form prior ``e^{-lambda_f̂ T Delta}``."""
+        import math
+
+        rate = self.model.context.step_rates[self.target_flow]
+        return math.exp(-rate * self.window_steps)
+
+    def prior_entropy(self) -> float:
+        """``H(X̂)`` in bits."""
+        return binary_entropy(self.prior_absent())
+
+    # ------------------------------------------------------------------
+    # Outcome tables and gains
+    # ------------------------------------------------------------------
+    def _weights_dict(self, dist: np.ndarray) -> Dict[int, float]:
+        states = self.model.states
+        return {
+            states[i]: float(dist[i])
+            for i in np.nonzero(dist > 1e-15)[0]
+        }
+
+    def outcome_table(self, probes: Sequence[int]) -> OutcomeTable:
+        """Joint outcome table for an ordered probe sequence (memoised)."""
+        key = tuple(int(f) for f in probes)
+        cached = self._table_cache.get(key)
+        if cached is not None:
+            return cached
+        outcome_probs = walk_probes(
+            self.model, self._weights_dict(self.dist_full), key
+        )
+        joint_absent = walk_probes(
+            self.model, self._weights_dict(self.dist_absent), key
+        )
+        table = OutcomeTable(
+            probes=key,
+            outcome_probs=outcome_probs,
+            joint_absent=joint_absent,
+        )
+        self._table_cache[key] = table
+        return table
+
+    def information_gain(self, probes: Sequence[int]) -> float:
+        """``IG(X̂ | Q_{f_1}, ..., Q_{f_m})`` in bits."""
+        table = self.outcome_table(probes)
+        return information_gain(
+            self.prior_absent(), table.joint_absent, table.outcome_probs
+        )
+
+    def conditional_entropy(self, probes: Sequence[int]) -> float:
+        """``H(X̂ | Q)`` in bits."""
+        table = self.outcome_table(probes)
+        return conditional_entropy_binary(
+            table.joint_absent, table.outcome_probs
+        )
+
+    # ------------------------------------------------------------------
+    # Hit probabilities and detector viability
+    # ------------------------------------------------------------------
+    def hit_probability(self, flow: int) -> float:
+        """``P(Q_f = 1)``: mass of states with a rule covering ``flow``."""
+        total = 0.0
+        for index, state in enumerate(self.model.states):
+            if self.model.context.state_covers(flow, state):
+                total += float(self.dist_full[index])
+        return total
+
+    def is_viable_detector(self, flow: int) -> bool:
+        """The paper's screening condition for probe flow ``f``.
+
+        ``P(X̂=0 | Q_f=0) > 0.5`` and ``P(X̂=1 | Q_f=1) > 0.5``: the
+        probe's outcome, read directly as the decision, beats a coin on
+        both sides (Section VI-B).
+        """
+        table = self.outcome_table((flow,))
+        p_miss = table.outcome_probs.get((0,), 0.0)
+        p_hit = table.outcome_probs.get((1,), 0.0)
+        if p_miss <= 0.0 or p_hit <= 0.0:
+            return False
+        return (
+            table.posterior_absent((0,)) > 0.5
+            and table.posterior_present((1,)) > 0.5
+        )

@@ -1,0 +1,86 @@
+"""Probe semantics over compact states.
+
+A probe is itself a flow: it either hits a cached covering rule
+(``Q_f = 1``) or misses (``Q_f = 0``) -- and, on a miss that the policy
+covers, perturbs the cache exactly like any other arrival (the
+controller installs the highest-priority covering rule, evicting if
+necessary).  Multi-probe inference (Section V-B) must account for this
+perturbation, which is why probe application returns a *branching* over
+successor states when an eviction is involved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.compact_model import CompactModel
+from repro.core.masks import popcount
+
+
+def probe_outcome(model: CompactModel, state: int, flow: int) -> int:
+    """``Q_f`` for a probe of ``flow`` against a (bitmask) state."""
+    return 1 if model.context.state_covers(flow, state) else 0
+
+
+def apply_probe(
+    model: CompactModel, state: int, flow: int
+) -> List[Tuple[int, float]]:
+    """Successor states (with weights) after probing ``flow``.
+
+    * hit: the cache set is unchanged (the matched rule's timer resets);
+    * miss, covered by the policy: the install rule enters, with the
+      eviction split applied when the cache is full;
+    * miss, uncovered: unchanged (the controller just forwards).
+    """
+    ctx = model.context
+    if ctx.match_in_cache(flow, state) is not None:
+        return [(state, 1.0)]
+    install = ctx.install_rule[flow]
+    if install is None:
+        return [(state, 1.0)]
+    if popcount(state) < ctx.cache_size:
+        return [(state | (1 << install), 1.0)]
+    branches: List[Tuple[int, float]] = []
+    for victim, prob in model.eviction_distribution(state).items():
+        if prob <= 0.0:
+            continue
+        branches.append(((state & ~(1 << victim)) | (1 << install), prob))
+    return branches
+
+
+def walk_probes(
+    model: CompactModel,
+    weights_by_state: Dict[int, float],
+    probes: Tuple[int, ...],
+    prune: float = 1e-15,
+) -> Dict[Tuple[int, ...], float]:
+    """Push a state distribution through a probe sequence.
+
+    Returns the probability of each probe-outcome vector under the given
+    (possibly substochastic) state weighting.  Probes are applied in
+    order; each probe's outcome is read off the state *before* the
+    probe's own perturbation is applied, and the perturbation feeds the
+    next probe -- the Section V-B incremental adjustment.
+    """
+    outcome_probs: Dict[Tuple[int, ...], float] = {}
+    # Frontier entries: (state, outcome prefix) -> weight.
+    frontier: Dict[Tuple[int, Tuple[int, ...]], float] = {
+        (state, ()): weight
+        for state, weight in weights_by_state.items()
+        if weight > prune
+    }
+    for flow in probes:
+        next_frontier: Dict[Tuple[int, Tuple[int, ...]], float] = {}
+        for (state, prefix), weight in frontier.items():
+            bit = probe_outcome(model, state, flow)
+            outcome = prefix + (bit,)
+            for successor, branch_prob in apply_probe(model, state, flow):
+                new_weight = weight * branch_prob
+                if new_weight <= prune:
+                    continue
+                key = (successor, outcome)
+                next_frontier[key] = next_frontier.get(key, 0.0) + new_weight
+        frontier = next_frontier
+    for (state, outcome), weight in frontier.items():
+        outcome_probs[outcome] = outcome_probs.get(outcome, 0.0) + weight
+    return outcome_probs

@@ -1,0 +1,35 @@
+"""Defenses against the reconnaissance attack (Section VII-B).
+
+Three countermeasures the paper proposes, each implemented and
+measurable against the full attack pipeline:
+
+* :mod:`repro.countermeasures.delay` -- delay the first packets of every
+  flow even on a cache hit, hiding the hit/miss latency gap (Cui et
+  al.'s mitigation).
+* :mod:`repro.countermeasures.proactive` -- install the whole policy
+  proactively so probes never observe a setup round trip.
+* :mod:`repro.countermeasures.transform` -- restructure the rule set
+  (merge toward coarse rules, split toward microflows) and quantify the
+  leakage of each structure with the paper's own model, "a tool to
+  measure the information leakage of the rule structure".
+"""
+
+from repro.countermeasures.base import Defense
+from repro.countermeasures.delay import DelayDefense
+from repro.countermeasures.proactive import ProactiveDefense
+from repro.countermeasures.transform import (
+    merge_rule_pair,
+    merge_to_coarse,
+    policy_leakage,
+    split_to_microflows,
+)
+
+__all__ = [
+    "Defense",
+    "DelayDefense",
+    "ProactiveDefense",
+    "merge_rule_pair",
+    "merge_to_coarse",
+    "split_to_microflows",
+    "policy_leakage",
+]

@@ -1,0 +1,43 @@
+"""Defense interface used by the network simulator.
+
+A defense is attached to exactly one :class:`~repro.simulator.network.
+Network` (defenses carry per-network state such as per-flow packet
+counters) and may hook two points:
+
+* :meth:`Defense.attach` -- one-time setup when the network is built
+  (e.g. proactively installing rules);
+* :meth:`Defense.forward_delay` -- extra delay added on the cache-hit
+  fast path (the miss path is already slow, so delaying hits is what
+  hides the side channel).
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.messages import Packet
+    from repro.simulator.network import Network
+    from repro.simulator.switch import Switch
+
+
+class Defense(ABC):
+    """Base class for switch-side defenses."""
+
+    #: Short identifier used in result tables.
+    name: str = "defense"
+
+    def attach(self, network: "Network") -> None:
+        """One-time setup hook; default does nothing."""
+
+    def observe(self, switch: "Switch", packet: "Packet") -> None:
+        """Called for every packet entering a switch; default no-op.
+
+        Lets defenses track per-flow state (e.g. packet counts) across
+        both the hit and the miss path.
+        """
+
+    def forward_delay(self, switch: "Switch", packet: "Packet") -> float:
+        """Extra hit-path delay in seconds; default none."""
+        return 0.0

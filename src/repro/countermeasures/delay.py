@@ -1,0 +1,96 @@
+"""The first-packets delay defense (Section VII-B1).
+
+"Switches can delay the first few packets of each flow, even if the flow
+matches an existing rule in the switch, to hide that it did so" (after
+Cui et al. [9]).  The defense tracks, per flow identifier at the
+reactive switch, how many packets have been seen since the flow was last
+quiet; the first ``first_k`` packets of each burst are delayed by a
+sample from the same distribution as the controller setup time, making
+hit and miss timings indistinguishable to the prober.
+
+The cost the paper notes -- added buffering and delay for legitimate
+first packets -- is directly measurable here via
+:attr:`DelayDefense.delays_added`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+
+from repro.countermeasures.base import Defense
+from repro.flows.flowid import FlowId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simulator.messages import Packet
+    from repro.simulator.network import Network
+    from repro.simulator.switch import Switch
+
+
+class DelayDefense(Defense):
+    """Delay the first ``first_k`` packets of each flow on hits."""
+
+    name = "delay"
+
+    def __init__(
+        self,
+        first_k: int = 2,
+        delay_mean: float = 3.6e-3,
+        delay_std: float = 1.8e-3,
+        quiet_reset: float = 1.0,
+    ):
+        if first_k < 1:
+            raise ValueError("first_k must be >= 1")
+        if delay_mean < 0 or delay_std < 0 or quiet_reset <= 0:
+            raise ValueError("delays must be non-negative, reset positive")
+        self.first_k = first_k
+        self.delay_mean = delay_mean
+        self.delay_std = delay_std
+        self.quiet_reset = quiet_reset
+        #: flow -> (packets seen in current burst, last packet time).
+        self._seen: Dict[FlowId, Tuple[int, float]] = {}
+        #: Total artificial delay added (the defense's cost metric).
+        self.delays_added = 0.0
+        self.packets_delayed = 0
+        self._network: "Network" = None  # type: ignore[assignment]
+
+    def attach(self, network: "Network") -> None:
+        self._network = network
+
+    def _participates(self, switch: "Switch", packet: "Packet") -> bool:
+        """Only reactively handled flows at the ingress are defended.
+
+        The side channel exists only for traffic that can trigger rule
+        setup; delaying reply/transit traffic carried by permanent rules
+        would be pure cost with no leakage to hide.
+        """
+        return (
+            switch.reactive
+            and packet.flow.dst in self._network.monitored_dsts
+        )
+
+    def observe(self, switch: "Switch", packet: "Packet") -> None:
+        # Count every packet of the flow at the reactive switch -- the
+        # miss packet that triggers rule setup is the flow's first
+        # packet and consumes part of the first_k budget (it is already
+        # slow, so it needs no artificial delay).
+        if not self._participates(switch, packet):
+            return
+        now = self._network.sim.now
+        count, last = self._seen.get(packet.flow, (0, -float("inf")))
+        if now - last > self.quiet_reset:
+            count = 0  # the flow went quiet; its next packets are "first"
+        self._seen[packet.flow] = (count + 1, now)
+
+    def forward_delay(self, switch: "Switch", packet: "Packet") -> float:
+        if not self._participates(switch, packet):
+            return 0.0
+        count, _ = self._seen.get(packet.flow, (1, 0.0))
+        if count > self.first_k:
+            return 0.0
+        rng = self._network.rng
+        delay = float(rng.normal(self.delay_mean, self.delay_std))
+        delay = max(delay, self.delay_mean * 0.1)
+        self.delays_added += delay
+        self.packets_delayed += 1
+        return delay

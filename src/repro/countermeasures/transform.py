@@ -1,0 +1,142 @@
+"""Rule-structure transformation (Section VII-B3).
+
+"Another defense might transform the rule structure by merging or
+splitting rules, increasing the uncertainty that the adversary faces
+after probing (our Markov model can serve as a tool to measure the
+information leakage of the rule structure), while maintaining the same
+functionality as the original rule policies."
+
+In the paper's setting every rule forwards to the same server, so any
+merge or split of the covered flow sets preserves functionality; what
+changes is how much a probe's hit/miss bit reveals.  This module
+provides the transformations and the leakage metric:
+
+* :func:`split_to_microflows` -- the finest structure: one rule per
+  covered flow (maximum leakage: each probe pinpoints one flow).
+* :func:`merge_rule_pair` / :func:`merge_to_coarse` -- coarsen the
+  structure by merging rules, sharing one cache entry among more flows.
+* :func:`policy_leakage` -- the attacker's best single-probe
+  information gain about a target flow under a given structure; the
+  quantity a defender would minimise subject to rule-count budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.compact_model import CompactModel
+from repro.core.inference import ReconInference
+from repro.core.selection import best_single_probe
+from repro.flows.policy import ModelRule, Policy
+from repro.flows.universe import FlowUniverse
+
+
+def _reindex(rules: Sequence[ModelRule]) -> Policy:
+    """Rebuild a policy from rules, re-ranking priorities densely."""
+    ordered = sorted(rules, key=lambda r: -r.priority)
+    rebuilt = [
+        ModelRule(
+            index=rank,
+            name=rule.name,
+            flows=rule.flows,
+            timeout_steps=rule.timeout_steps,
+            priority=1000 - rank,
+            hard=rule.hard,
+        )
+        for rank, rule in enumerate(ordered)
+    ]
+    return Policy(rebuilt)
+
+
+def split_to_microflows(policy: Policy) -> Policy:
+    """One rule per covered flow (the finest-grained structure).
+
+    Each microflow rule inherits the timeout of the rule that would have
+    been installed for that flow (the highest-priority covering rule),
+    so cache pressure stays comparable.
+    """
+    rules: List[ModelRule] = []
+    for flow in sorted(policy.covered_flows()):
+        source = policy[policy.highest_covering(flow)]
+        rules.append(
+            ModelRule(
+                index=len(rules),
+                name=f"micro_f{flow}",
+                flows=frozenset({flow}),
+                timeout_steps=source.timeout_steps,
+                priority=1000 - len(rules),
+                hard=source.hard,
+            )
+        )
+    return Policy(rules)
+
+
+def merge_rule_pair(policy: Policy, first: int, second: int) -> Policy:
+    """Merge two rules into one covering the union of their flows.
+
+    The merged rule takes the higher of the two priorities and the
+    longer timeout (so no previously covered flow loses residency), and
+    keeps a combined name for traceability.
+    """
+    if first == second:
+        raise ValueError("cannot merge a rule with itself")
+    rule_a, rule_b = policy[first], policy[second]
+    merged = ModelRule(
+        index=0,  # re-ranked below
+        name=f"{rule_a.name}+{rule_b.name}",
+        flows=rule_a.flows | rule_b.flows,
+        timeout_steps=max(rule_a.timeout_steps, rule_b.timeout_steps),
+        priority=max(rule_a.priority, rule_b.priority),
+        hard=rule_a.hard and rule_b.hard,
+    )
+    remaining = [
+        rule for rule in policy if rule.index not in (first, second)
+    ]
+    return _reindex(remaining + [merged])
+
+
+def merge_to_coarse(policy: Policy, target_rules: int) -> Policy:
+    """Greedily merge the most-overlapping rule pairs down to a budget.
+
+    At each step the pair sharing the most flows (ties: smallest union,
+    then lowest indices) is merged; with no overlapping pairs left, the
+    two smallest rules merge.  Stops at ``target_rules`` rules.
+    """
+    if target_rules < 1:
+        raise ValueError("target_rules must be >= 1")
+    current = policy
+    while len(current) > target_rules:
+        best_pair = None
+        best_key = None
+        for i in range(len(current)):
+            for j in range(i + 1, len(current)):
+                overlap = len(current[i].flows & current[j].flows)
+                union = len(current[i].flows | current[j].flows)
+                key = (-overlap, union, i, j)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_pair = (i, j)
+        assert best_pair is not None
+        current = merge_rule_pair(current, *best_pair)
+    return current
+
+
+def policy_leakage(
+    policy: Policy,
+    universe: FlowUniverse,
+    delta: float,
+    cache_size: int,
+    target_flow: int,
+    window_steps: int,
+    candidates: Optional[Sequence[int]] = None,
+) -> float:
+    """Best single-probe information gain under a rule structure.
+
+    This is the paper's suggested use of the model as a defensive
+    leakage meter: the defender computes, for a sensitive target flow,
+    how many bits the optimal probe would reveal, and compares rule
+    structures on that number.
+    """
+    model = CompactModel(policy, universe, delta, cache_size)
+    inference = ReconInference(model, target_flow, window_steps)
+    return best_single_probe(inference, candidates).gain

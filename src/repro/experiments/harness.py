@@ -1,0 +1,225 @@
+"""Per-configuration harness: model fit, probe choice, trial loop.
+
+:class:`ConfigHarness` owns everything derived from one sampled network
+configuration: the compact model, the fitted inference object, the
+attacker lineup (naive / model / constrained / random), the paper's
+detector-viability screen, and the trial loop producing accuracies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.attacker import (
+    Attacker,
+    ConstrainedModelAttacker,
+    ModelAttacker,
+    NaiveAttacker,
+    RandomAttacker,
+)
+from repro.core.compact_model import CompactModel
+from repro.core.inference import ReconInference
+from repro.core.recency import make_estimator
+from repro.experiments.params import ExperimentParams
+from repro.experiments.trials import TrialResult, run_trial
+from repro.flows.config import ConfigGenerator, NetworkConfiguration
+from repro.simulator.timing import LatencyModel
+
+
+@dataclass
+class ConfigResult:
+    """Aggregated trial results for one configuration."""
+
+    config: NetworkConfiguration
+    accuracies: Dict[str, float]
+    trials: int
+    screened: bool
+    optimal_probe: int
+    optimal_is_target: bool
+    prior_absent: float
+    n_rules_covering_target: int
+    #: Whether the rule a target miss installs covers only the target
+    #: (the regime where no sibling probe can see the target's tracks;
+    #: see repro.analysis.structure).
+    target_install_exclusive: bool = False
+    trial_results: List[TrialResult] = field(default_factory=list, repr=False)
+
+    @property
+    def improvement(self) -> float:
+        """Additive accuracy improvement of model over naive (Fig. 6b)."""
+        return self.accuracies["model"] - self.accuracies["naive"]
+
+    @property
+    def constrained_improvement(self) -> float:
+        """Constrained-model accuracy minus naive (Fig. 7 comparison)."""
+        return self.accuracies["constrained"] - self.accuracies["naive"]
+
+
+class ConfigHarness:
+    """Everything derived from one network configuration."""
+
+    def __init__(
+        self,
+        config: NetworkConfiguration,
+        params: ExperimentParams,
+        rng: Optional[np.random.Generator] = None,
+        latency: Optional[LatencyModel] = None,
+    ):
+        self.config = config
+        self.params = params
+        self.rng = rng if rng is not None else np.random.default_rng(params.seed)
+        self.latency = latency
+
+        self.model = CompactModel(
+            config.policy,
+            config.universe,
+            config.delta,
+            config.cache_size,
+        )
+        if params.estimator != "independent":
+            self.model.estimator = make_estimator(
+                params.estimator, self.model.context
+            )
+        self.inference = ReconInference(
+            self.model, config.target_flow, config.window_steps
+        )
+
+        self.naive_attacker = NaiveAttacker(config.target_flow)
+        self.model_attacker = ModelAttacker(
+            self.inference,
+            n_probes=params.n_probes,
+            decision=params.decision,
+        )
+        self.constrained_attacker = ConstrainedModelAttacker(
+            self.inference,
+            n_probes=params.n_probes,
+            decision=params.constrained_decision,
+        )
+        self.random_attacker = RandomAttacker(
+            prior_present=1.0 - self.inference.prior_absent(),
+            rng=self.rng,
+            mode=params.random_attacker_mode,
+        )
+
+    @classmethod
+    def sample(
+        cls,
+        params: ExperimentParams,
+        generator: Optional[ConfigGenerator] = None,
+    ) -> "ConfigHarness":
+        """Sample a fresh configuration under ``params`` and wrap it."""
+        generator = generator or ConfigGenerator(params.config, seed=params.seed)
+        config = generator.sample()
+        return cls(config, params, rng=generator.rng)
+
+    # ------------------------------------------------------------------
+    # Paper screens
+    # ------------------------------------------------------------------
+    def is_screened_in(self) -> bool:
+        """The Section VI-B viability screen, applied to the optimal probe."""
+        from repro.experiments.screening import paper_screen
+
+        return paper_screen(self.inference, self.model_attacker.probes[0])
+
+    def optimal_differs_from_target(self) -> bool:
+        """Figure 6's extra restriction: optimal probe != target flow."""
+        return self.model_attacker.probes[0] != self.config.target_flow
+
+    # ------------------------------------------------------------------
+    # Trials
+    # ------------------------------------------------------------------
+    def attackers(self) -> Tuple[Attacker, ...]:
+        """The standard lineup evaluated in every trial."""
+        return (
+            self.naive_attacker,
+            self.model_attacker,
+            self.constrained_attacker,
+            self.random_attacker,
+        )
+
+    def run_trials(
+        self,
+        n_trials: Optional[int] = None,
+        attackers: Optional[Sequence[Attacker]] = None,
+        keep_trials: bool = False,
+        defense_factory=None,
+    ) -> ConfigResult:
+        """Run the trial loop and aggregate accuracies."""
+        n_trials = n_trials if n_trials is not None else self.params.n_trials
+        lineup = tuple(attackers) if attackers is not None else self.attackers()
+        correct = {attacker.name: 0 for attacker in lineup}
+        kept: List[TrialResult] = []
+        for _ in range(n_trials):
+            seed = int(self.rng.integers(2**63 - 1))
+            trial = run_trial(
+                self.config,
+                lineup,
+                seed,
+                mode=self.params.trial_mode,
+                latency=self.latency,
+                defense_factory=defense_factory,
+            )
+            for attacker in lineup:
+                if trial.correct(attacker.name):
+                    correct[attacker.name] += 1
+            if keep_trials:
+                kept.append(trial)
+        accuracies = {
+            name: count / n_trials for name, count in correct.items()
+        }
+        from repro.analysis.structure import target_structure
+
+        structure = target_structure(
+            self.config.policy, self.config.target_flow
+        )
+        return ConfigResult(
+            config=self.config,
+            accuracies=accuracies,
+            trials=n_trials,
+            screened=self.is_screened_in(),
+            optimal_probe=self.model_attacker.probes[0],
+            optimal_is_target=not self.optimal_differs_from_target(),
+            prior_absent=self.inference.prior_absent(),
+            n_rules_covering_target=len(self.config.rules_covering_target()),
+            target_install_exclusive=structure.install_rule_is_exclusive,
+            trial_results=kept,
+        )
+
+
+def sample_screened_harnesses(
+    params: ExperimentParams,
+    n_configs: int,
+    require_optimal_differs: bool = False,
+    max_attempts_factor: int = 40,
+    generator: Optional[ConfigGenerator] = None,
+) -> List[ConfigHarness]:
+    """Sample configurations until ``n_configs`` pass the screens.
+
+    Mirrors the paper's procedure of restricting attention to
+    configurations where the side channel can work at all
+    (``screen=True`` in params), optionally also requiring the
+    model-optimal probe to differ from the target (Figure 6's case
+    split).  Raises ``RuntimeError`` if the acceptance rate is too low.
+    """
+    generator = generator or ConfigGenerator(params.config, seed=params.seed)
+    harnesses: List[ConfigHarness] = []
+    attempts = 0
+    max_attempts = max(1, n_configs) * max_attempts_factor
+    while len(harnesses) < n_configs:
+        attempts += 1
+        if attempts > max_attempts:
+            raise RuntimeError(
+                f"only {len(harnesses)}/{n_configs} configurations accepted "
+                f"after {attempts} attempts; relax the screens or the "
+                "absence range"
+            )
+        harness = ConfigHarness.sample(params, generator=generator)
+        if params.screen and not harness.is_screened_in():
+            continue
+        if require_optimal_differs and not harness.optimal_differs_from_target():
+            continue
+        harnesses.append(harness)
+    return harnesses

@@ -1,0 +1,125 @@
+"""Persist experiment results as JSON for plotting and archival.
+
+The figure objects (:class:`~repro.experiments.fig6.Fig6Result`,
+:class:`~repro.experiments.fig7.Fig7Result`) carry live references to
+configurations; this module flattens them into plain-JSON documents --
+per-configuration rows plus the derived series -- so a full run's
+numbers can be archived, diffed between runs, or plotted without
+re-running hours of sampling.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+from repro.experiments.harness import ConfigResult
+from repro.version import __version__
+
+PathLike = Union[str, Path]
+
+
+def _config_row(result: ConfigResult) -> Dict[str, object]:
+    """One configuration's flattened record."""
+    return {
+        "prior_absent": result.prior_absent,
+        "screened": result.screened,
+        "optimal_probe": result.optimal_probe,
+        "optimal_is_target": result.optimal_is_target,
+        "target_flow": result.config.target_flow,
+        "n_rules_covering_target": result.n_rules_covering_target,
+        "target_install_exclusive": result.target_install_exclusive,
+        "trials": result.trials,
+        "accuracies": dict(result.accuracies),
+        "improvement": result.improvement,
+        "target_rate": result.config.universe.rates[
+            result.config.target_flow
+        ],
+    }
+
+
+def fig6_to_document(result: Fig6Result) -> Dict[str, object]:
+    """A plain-JSON document for a Figure 6 run."""
+    return {
+        "artifact": "fig6",
+        "version": __version__,
+        "bins": [list(b) for b in result.bins],
+        "bin_centers": result.bin_centers(),
+        "accuracy_series": result.accuracy_series(),
+        "improvement_cdf": [list(p) for p in result.improvement_cdf()],
+        "headline": result.headline(),
+        "configurations": [
+            [_config_row(r) for r in bucket]
+            for bucket in result.results_per_bin
+        ],
+    }
+
+
+def fig7_to_document(result: Fig7Result) -> Dict[str, object]:
+    """A plain-JSON document for a Figure 7 run."""
+    return {
+        "artifact": "fig7",
+        "version": __version__,
+        "bins": [list(b) for b in result.bins],
+        "bin_centers": result.bin_centers(),
+        "accuracy_series": result.accuracy_series(),
+        "accuracy_by_covering_count": {
+            str(count): row
+            for count, row in result.accuracy_by_covering_count().items()
+        },
+        "summary": result.summary(),
+        "configurations": [
+            [_config_row(r) for r in bucket]
+            for bucket in result.results_per_bin
+        ],
+    }
+
+
+def save_result(
+    result: Union[Fig6Result, Fig7Result], path: PathLike
+) -> Path:
+    """Serialise a figure result to ``path`` (JSON); returns the path."""
+    if isinstance(result, Fig6Result):
+        document = fig6_to_document(result)
+    elif isinstance(result, Fig7Result):
+        document = fig7_to_document(result)
+    else:
+        raise TypeError(f"unsupported result type: {type(result).__name__}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    return path
+
+
+def load_document(path: PathLike) -> Dict[str, object]:
+    """Load a previously saved experiment document."""
+    document = json.loads(Path(path).read_text())
+    if "artifact" not in document:
+        raise ValueError(f"{path} is not an experiment document")
+    return document
+
+
+def compare_headlines(
+    old: Dict[str, object], new: Dict[str, object]
+) -> List[Dict[str, float]]:
+    """Row-wise comparison of two fig6 documents' headline statistics.
+
+    Useful for regression-tracking the reproduction between code
+    changes: each row carries the metric, both values, and the delta.
+    """
+    if old.get("artifact") != "fig6" or new.get("artifact") != "fig6":
+        raise ValueError("headline comparison requires fig6 documents")
+    rows = []
+    old_headline: Dict[str, float] = old["headline"]  # type: ignore[assignment]
+    new_headline: Dict[str, float] = new["headline"]  # type: ignore[assignment]
+    for metric in sorted(set(old_headline) | set(new_headline)):
+        old_value = old_headline.get(metric)
+        new_value = new_headline.get(metric)
+        row = {"metric": metric, "old": old_value, "new": new_value}
+        if old_value is not None and new_value is not None:
+            row["delta"] = new_value - old_value
+        rows.append(row)
+    return rows

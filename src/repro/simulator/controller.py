@@ -1,0 +1,106 @@
+"""The reactive SDN controller (the Ryu stand-in).
+
+On a packet-in the controller looks up the highest-priority policy rule
+covering the flow, computes the output port from its topology view, and
+-- after a processing delay -- returns a flow-mod (rule installation)
+followed by a packet-out releasing the buffered packet.  Flows the
+policy does not cover are released without installing anything, exactly
+like the paper's handling of probe flows that match no rule.
+
+The controller is deliberately stateless across packet-ins (each miss is
+handled independently); repeated misses for the same flow before the
+rule lands re-install the same rule, which on the switch refreshes the
+entry's timers -- matching OVS flow-mod semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.flows.rules import Rule, RuleTable
+from repro.simulator.messages import FlowMod, PacketIn, PacketOut
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simulator.network import Network
+
+
+class ReactiveController:
+    """Reactive rule installation from a fixed policy."""
+
+    def __init__(self, network: "Network", policy: RuleTable):
+        self.network = network
+        self.policy = policy
+        self.stats = {"packet_ins": 0, "installs": 0, "forward_only": 0}
+
+    def handle_packet_in(self, message: PacketIn) -> None:
+        """Process one miss notification."""
+        network = self.network
+        self.stats["packet_ins"] += 1
+        switch = network.switches[message.switch_name]
+        out_port = network.route_port(switch.name, message.packet.flow.dst)
+        rule = self.policy.highest_covering(message.packet.flow)
+        if rule is not None and network.proactive_defense_active:
+            # Under the proactive defense every policy rule is already
+            # installed; a packet-in can only be a race or an uncovered
+            # flow -- never install reactively.
+            rule = None
+        processing = network.latency.controller_processing_delay(network.rng)
+        down_link = network.latency.control_link_delay(network.rng)
+
+        if rule is None:
+            self.stats["forward_only"] += 1
+
+            def release() -> None:
+                switch.handle_packet_out(
+                    PacketOut(packet=message.packet, out_port=out_port)
+                )
+
+            network.sim.schedule(processing + down_link, release)
+            return
+
+        self.stats["installs"] += 1
+        install_delay = network.latency.flowmod_install_delay(network.rng)
+
+        def install_and_release() -> None:
+            switch.handle_flow_mod(FlowMod(rule=rule, out_port=out_port))
+
+            def release() -> None:
+                switch.handle_packet_out(
+                    PacketOut(packet=message.packet, out_port=out_port)
+                )
+
+            network.sim.schedule(install_delay, release)
+
+        network.sim.schedule(processing + down_link, install_and_release)
+
+    def proactive_install_all(self, switch_name: str) -> int:
+        """Install every policy rule permanently on one switch.
+
+        Implements the Section VII-B2 defense; returns the number of
+        rules installed.  Timeouts are stripped (the defense keeps the
+        rules resident), so the entries are never evicted or expired.
+        """
+        network = self.network
+        switch = network.switches[switch_name]
+        installed = 0
+        for rule in self.policy:
+            out_port = network.route_port(switch_name, _rule_probe_dst(rule))
+            permanent = replace(rule, idle_timeout=0.0, hard_timeout=0.0)
+            switch.preinstall(permanent, out_port)
+            installed += 1
+        return installed
+
+
+def _rule_probe_dst(rule: Rule) -> int:
+    """A destination address matched by ``rule`` (for port resolution).
+
+    The paper's rules pin the destination exactly (all traffic goes to
+    the one server), so the rule's destination value is the address.
+    """
+    if not rule.dst.is_exact():
+        raise ValueError(
+            f"rule {rule.name} has a wildcard destination; cannot resolve "
+            "a proactive output port"
+        )
+    return rule.dst.value

@@ -1,0 +1,146 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event loop: callbacks scheduled at absolute or
+relative times, executed in time order with FIFO tie-breaking.  All
+simulator components share one :class:`Simulator` instance and schedule
+closures on it; there are no processes or coroutines to keep the
+execution model easy to reason about and fully reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+#: An event callback takes no arguments; state is carried via closures.
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent):
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        """Scheduled execution time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been cancelled."""
+        return self._event.cancelled
+
+
+class Simulator:
+    """A deterministic discrete-event simulator clock."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._queue: List[_ScheduledEvent] = []
+        self._seq = 0
+        self._events_run = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of callbacks executed so far (for diagnostics)."""
+        return self._events_run
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callback) -> EventHandle:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callback) -> EventHandle:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past ({time} < {self._now})"
+            )
+        event = _ScheduledEvent(time=float(time), seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    @property
+    def next_event_time(self) -> Optional[float]:
+        """Time of the next pending event, or ``None`` when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def _pop_next(self) -> Optional[_ScheduledEvent]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def step(self) -> bool:
+        """Execute the next event; returns ``False`` when queue is empty."""
+        event = self._pop_next()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_run += 1
+        event.callback()
+        return True
+
+    def run_until(self, end_time: float, max_events: int = 10_000_000) -> None:
+        """Run events up to and including ``end_time``.
+
+        The clock is advanced to exactly ``end_time`` afterwards, even if
+        no event lands there, so subsequent scheduling is relative to the
+        requested horizon.
+        """
+        if end_time < self._now:
+            raise ValueError(f"end_time {end_time} is in the past")
+        executed = 0
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            self.step()
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    f"exceeded {max_events} events before {end_time}; "
+                    "likely an event storm or scheduling loop"
+                )
+        self._now = float(end_time)
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Run until the event queue drains."""
+        executed = 0
+        while self.step():
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(f"exceeded {max_events} events")

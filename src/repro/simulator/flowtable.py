@@ -1,0 +1,198 @@
+"""An Open vSwitch-like flow table.
+
+Implements the cache semantics the paper's models abstract (and which
+the cited OVS documentation prescribes):
+
+* **priority matching** -- a lookup returns the highest-priority entry
+  covering the packet's flow;
+* **idle timeouts** -- an entry expires when unmatched for its idle
+  timeout; a successful lookup refreshes it;
+* **hard timeouts** -- an entry expires a fixed time after install
+  regardless of matches;
+* **capacity + eviction** -- when an install would exceed capacity, the
+  evictable (timeout-bearing) entry with the smallest remaining lifetime
+  is removed, the paper's "shortest-time-remaining" policy.  Entries
+  with no timeout (the pre-installed helper rules) are never evicted,
+  matching the paper's note that OVS "will not evict the rules without
+  timeouts".
+
+Expiry is processed lazily at each operation; :meth:`FlowTable.sweep`
+forces it, which trial runners call when they need exact ground truth at
+a point in time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.flows.flowid import FlowId
+from repro.flows.rules import Rule
+
+
+@dataclass
+class TableEntry:
+    """One cached rule plus its runtime timer state."""
+
+    rule: Rule
+    out_port: int
+    install_time: float
+    last_match: float
+
+    def remaining(self, now: float) -> float:
+        """Seconds until expiry; ``inf`` for permanent entries."""
+        remaining = math.inf
+        if self.rule.idle_timeout > 0:
+            remaining = min(
+                remaining, self.last_match + self.rule.idle_timeout - now
+            )
+        if self.rule.hard_timeout > 0:
+            remaining = min(
+                remaining, self.install_time + self.rule.hard_timeout - now
+            )
+        return remaining
+
+    def expired(self, now: float) -> bool:
+        """Whether the entry should have been removed by ``now``."""
+        return self.remaining(now) <= 0.0
+
+    @property
+    def evictable(self) -> bool:
+        """Permanent (timeout-free) entries are never evicted."""
+        return not self.rule.is_permanent()
+
+
+class FlowTable:
+    """Capacity-limited flow table with OVS eviction semantics."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Dict[str, TableEntry] = {}
+        #: Counters exposed for tests and diagnostics.
+        self.stats = {
+            "hits": 0,
+            "misses": 0,
+            "installs": 0,
+            "evictions": 0,
+            "expirations": 0,
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, rule_name: str) -> bool:
+        return rule_name in self._entries
+
+    @property
+    def entries(self) -> Tuple[TableEntry, ...]:
+        """All live entries (order unspecified)."""
+        return tuple(self._entries.values())
+
+    def rule_names(self) -> Tuple[str, ...]:
+        """Names of cached rules (sorted, for stable comparisons)."""
+        return tuple(sorted(self._entries.keys()))
+
+    # ------------------------------------------------------------------
+    # Expiry
+    # ------------------------------------------------------------------
+    def sweep(self, now: float) -> List[TableEntry]:
+        """Remove and return entries that have expired by ``now``."""
+        expired = [
+            entry for entry in self._entries.values() if entry.expired(now)
+        ]
+        for entry in expired:
+            del self._entries[entry.rule.name]
+            self.stats["expirations"] += 1
+        return expired
+
+    # ------------------------------------------------------------------
+    # Lookup / install
+    # ------------------------------------------------------------------
+    def lookup(
+        self, flow: FlowId, now: float, refresh: bool = True
+    ) -> Optional[TableEntry]:
+        """Match ``flow`` against the table.
+
+        Returns the highest-priority covering entry, refreshing its idle
+        timer (unless ``refresh=False``, used for non-mutating peeks).
+        Records hit/miss statistics.
+        """
+        self.sweep(now)
+        best: Optional[TableEntry] = None
+        for entry in self._entries.values():
+            if not entry.rule.covers(flow):
+                continue
+            if best is None or entry.rule.priority > best.rule.priority:
+                best = entry
+        if best is None:
+            self.stats["misses"] += 1
+            return None
+        self.stats["hits"] += 1
+        if refresh:
+            best.last_match = now
+        return best
+
+    def peek(self, flow: FlowId, now: float) -> Optional[TableEntry]:
+        """Non-mutating lookup: no timer refresh, no statistics."""
+        best: Optional[TableEntry] = None
+        for entry in self._entries.values():
+            if entry.expired(now) or not entry.rule.covers(flow):
+                continue
+            if best is None or entry.rule.priority > best.rule.priority:
+                best = entry
+        return best
+
+    def install(
+        self, rule: Rule, out_port: int, now: float
+    ) -> Optional[TableEntry]:
+        """Install ``rule``; returns the evicted entry, if any.
+
+        Re-installing a cached rule refreshes its timers in place (OVS
+        ``flow-mod`` modify semantics).  When the table is full, the
+        evictable entry with the smallest remaining lifetime is removed;
+        if every entry is permanent, the install is dropped (OVS returns
+        a table-full error) and ``None`` is returned with the rule *not*
+        cached.
+        """
+        self.sweep(now)
+        existing = self._entries.get(rule.name)
+        if existing is not None:
+            existing.install_time = now
+            existing.last_match = now
+            existing.out_port = out_port
+            return None
+        evicted: Optional[TableEntry] = None
+        if len(self._entries) >= self.capacity:
+            evicted = self._pick_victim(now)
+            if evicted is None:
+                return None  # table full of permanent rules
+            del self._entries[evicted.rule.name]
+            self.stats["evictions"] += 1
+        self._entries[rule.name] = TableEntry(
+            rule=rule, out_port=out_port, install_time=now, last_match=now
+        )
+        self.stats["installs"] += 1
+        return evicted
+
+    def _pick_victim(self, now: float) -> Optional[TableEntry]:
+        """Shortest-remaining-time evictable entry (ties: oldest install)."""
+        candidates = [e for e in self._entries.values() if e.evictable]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda e: (e.remaining(now), e.install_time))
+
+    def remove(self, rule_name: str) -> bool:
+        """Explicitly delete an entry (controller-driven removal)."""
+        return self._entries.pop(rule_name, None) is not None
+
+    def next_expiry(self, now: float) -> float:
+        """Earliest future expiry time, or ``inf`` when none."""
+        times = [
+            now + entry.remaining(now)
+            for entry in self._entries.values()
+            if entry.evictable
+        ]
+        return min(times) if times else math.inf

@@ -1,0 +1,379 @@
+"""Network assembly: topology, switches, hosts, routing, delivery.
+
+:class:`Network` wires a topology graph into :class:`Switch` instances
+connected by latency-modelled links, attaches hosts (the 16 sources and
+the attacker on the *ingress* switch, the server on another switch --
+the paper's client/server arrangement), pre-installs the helper rules,
+and exposes the traffic and probing entry points the experiment harness
+drives.
+
+Pre-installed (permanent, never-evicted) rules, mirroring Section VI-A:
+
+* on every switch, a per-destination routing rule for each host
+  (``dst = host -> port``): the "proactively installed" plumbing that
+  lets replies and transit traffic flow without controller round trips;
+* on the *reactive* ingress switch only, the server-destined routing
+  rule is omitted and replaced by the ICMP-to-controller rule, so
+  monitored flows take the reactive path exactly once, at their ingress
+  -- the single switch the paper models;
+* a lowest-priority default flood rule (inert in these workloads).
+
+The reactive switch's table capacity is set to ``cache_size`` *plus* the
+number of permanent entries, reproducing the paper's "size 9 = 6 + 3
+reserved" arrangement (our host plumbing needs more reserved slots, but
+reactive rules still compete for exactly ``cache_size``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.flows.flowid import PROTO_ICMP, FlowId, ip_to_str
+from repro.flows.rules import (
+    ACTION_CONTROLLER,
+    ACTION_FLOOD,
+    ACTION_FORWARD,
+    Match,
+    Rule,
+    RuleTable,
+)
+from repro.flows.universe import FlowUniverse
+from repro.simulator.controller import ReactiveController
+from repro.simulator.events import Simulator
+from repro.simulator.messages import ECHO_REPLY, ECHO_REQUEST, Packet
+from repro.simulator.switch import Switch
+from repro.simulator.timing import LatencyModel
+from repro.simulator.topology import stanford_backbone, validate_topology
+
+#: Priority of per-destination routing rules (below reactive rules).
+ROUTE_PRIORITY = 50
+#: Priority of the ICMP-to-controller helper rule.
+TO_CONTROLLER_PRIORITY = 10
+#: Priority of the default flood rule.
+FLOOD_PRIORITY = 1
+
+
+@dataclass(frozen=True)
+class HostRecord:
+    """One attached host: name, address, and attachment point."""
+
+    name: str
+    ip: int
+    switch_name: str
+    port: int
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Assembly options for :class:`Network`.
+
+    ``reactive_scope`` selects which switches run the reactive policy:
+
+    * ``"ingress"`` (default, the modelled setting): only the switch the
+      monitored hosts attach to reacts; transit switches carry
+      proactive routing.  This matches the paper's single-switch model
+      while keeping the multi-hop topology real for latency.
+    * ``"all"``: every switch on the path misses independently and
+      installs its own copy of the rules -- each first packet pays one
+      controller round trip per hop, a strictly harsher (and noisier)
+      version of the side channel useful for sensitivity studies.
+    """
+
+    cache_size: int = 6
+    ingress_switch: Optional[str] = None
+    server_switch: Optional[str] = None
+    transit_capacity_slack: int = 16
+    attacker_ip_offset: int = 100
+    reactive_scope: str = "ingress"
+
+    def __post_init__(self) -> None:
+        if self.reactive_scope not in ("ingress", "all"):
+            raise ValueError(
+                f"unknown reactive_scope: {self.reactive_scope!r}"
+            )
+
+
+class Network:
+    """A simulated SDN network hosting the reconnaissance scenario."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        universe: FlowUniverse,
+        cache_size: int = 6,
+        latency: Optional[LatencyModel] = None,
+        topology: Optional[nx.Graph] = None,
+        rng: Optional[np.random.Generator] = None,
+        config: Optional[NetworkConfig] = None,
+        defense=None,
+    ):
+        self.config = config or NetworkConfig(cache_size=cache_size)
+        if config is not None and config.cache_size != cache_size:
+            raise ValueError("cache_size disagrees with config.cache_size")
+        self.sim = Simulator()
+        self.latency = latency or LatencyModel.calibrated()
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.topology = topology if topology is not None else stanford_backbone()
+        validate_topology(self.topology)
+        self.universe = universe
+        self.policy_rules = RuleTable(rules)
+        self.defense = defense
+        self.proactive_defense_active = False
+
+        nodes = sorted(self.topology.nodes)
+        self.ingress_name = self.config.ingress_switch or (
+            "boza" if "boza" in self.topology else nodes[0]
+        )
+        self.server_switch_name = self.config.server_switch or (
+            "yoza" if "yoza" in self.topology else nodes[-1]
+        )
+        for name in (self.ingress_name, self.server_switch_name):
+            if name not in self.topology:
+                raise ValueError(f"switch {name!r} not in topology")
+
+        self._build_hosts()
+        self._build_ports()
+        self._build_routing()
+        self._build_switches()
+        self.controller = ReactiveController(self, self.policy_rules)
+        self._preinstall_rules()
+
+        #: probe_id -> observation time (reply seen by the attacker).
+        self._probe_observations: Dict[int, float] = {}
+        self.stats = {"host_sends": 0, "replies": 0}
+
+        if self.defense is not None:
+            self.defense.attach(self)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_hosts(self) -> None:
+        src_ips = sorted({flow.src for flow in self.universe.flows})
+        dst_ips = sorted(
+            {flow.dst for flow in self.universe.flows} - set(src_ips)
+        )
+        self.attacker_ip = max(src_ips + dst_ips) + self.config.attacker_ip_offset
+        self.hosts: Dict[str, HostRecord] = {}
+        self.host_by_ip: Dict[int, HostRecord] = {}
+        self._host_plan: List[Tuple[str, int, str]] = []
+        for index, ip in enumerate(src_ips):
+            self._host_plan.append((f"h{index}", ip, self.ingress_name))
+        for index, ip in enumerate(dst_ips):
+            self._host_plan.append(
+                (f"server{index}", ip, self.server_switch_name)
+            )
+        self._host_plan.append(("attacker", self.attacker_ip, self.ingress_name))
+        #: Destination addresses that must take the reactive path.
+        self.monitored_dsts = frozenset(
+            flow.dst for flow in self.universe.flows
+        )
+
+    def _build_ports(self) -> None:
+        """Assign port numbers: neighbours first, then hosts."""
+        self._ports: Dict[str, Dict[int, Tuple[str, str]]] = {}
+        self._port_to_neighbor: Dict[Tuple[str, str], int] = {}
+        for switch in self.topology.nodes:
+            port_map: Dict[int, Tuple[str, str]] = {}
+            port_no = 1
+            for neighbor in sorted(self.topology.neighbors(switch)):
+                port_map[port_no] = ("switch", neighbor)
+                self._port_to_neighbor[(switch, neighbor)] = port_no
+                port_no += 1
+            self._ports[switch] = port_map
+        for name, ip, switch in self._host_plan:
+            port_map = self._ports[switch]
+            port_no = max(port_map.keys(), default=0) + 1
+            port_map[port_no] = ("host", name)
+            record = HostRecord(name=name, ip=ip, switch_name=switch, port=port_no)
+            self.hosts[name] = record
+            self.host_by_ip[ip] = record
+
+    def _build_routing(self) -> None:
+        paths = dict(nx.all_pairs_shortest_path(self.topology))
+        self._next_hop: Dict[str, Dict[str, str]] = {}
+        for source, targets in paths.items():
+            hops: Dict[str, str] = {}
+            for target, path in targets.items():
+                if len(path) >= 2:
+                    hops[target] = path[1]
+            self._next_hop[source] = hops
+
+    def _build_switches(self) -> None:
+        self.switches: Dict[str, Switch] = {}
+        for name in self.topology.nodes:
+            reactive = (
+                self.config.reactive_scope == "all"
+                or name == self.ingress_name
+            )
+            # Provisional capacity; finalised after preinstallation.
+            self.switches[name] = Switch(
+                name, self, capacity=10_000, reactive=reactive
+            )
+
+    def _preinstall_rules(self) -> None:
+        for switch_name, switch in self.switches.items():
+            reactive = switch.reactive
+            for host in self.hosts.values():
+                if reactive and host.ip in self.monitored_dsts:
+                    continue  # force the reactive path at the ingress
+                rule = Rule(
+                    name=f"route_{switch_name}_{ip_to_str(host.ip)}",
+                    dst=Match.exact(host.ip),
+                    priority=ROUTE_PRIORITY,
+                    action=ACTION_FORWARD,
+                )
+                switch.preinstall(rule, self.route_port(switch_name, host.ip))
+            if reactive:
+                # The paper pre-installs an "unmatched ICMP to the
+                # controller" rule; we generalise to one to-controller
+                # rule per monitored destination so non-ICMP universes
+                # take the same reactive path.
+                for dst in sorted(self.monitored_dsts):
+                    switch.preinstall(
+                        Rule(
+                            name=f"to_ctrl_{switch_name}_{ip_to_str(dst)}",
+                            dst=Match.exact(dst),
+                            priority=TO_CONTROLLER_PRIORITY,
+                            action=ACTION_CONTROLLER,
+                        ),
+                        out_port=0,
+                    )
+            switch.preinstall(
+                Rule(
+                    name=f"flood_{switch_name}",
+                    priority=FLOOD_PRIORITY,
+                    action=ACTION_FLOOD,
+                ),
+                out_port=0,
+            )
+            # Reactive rules compete for exactly cache_size slots on the
+            # reactive switch; transit tables just need room for the
+            # permanent plumbing.
+            slack = (
+                self.config.cache_size
+                if reactive
+                else self.config.transit_capacity_slack
+            )
+            switch.table.capacity = len(switch.table) + slack
+
+    # ------------------------------------------------------------------
+    # Routing and delivery
+    # ------------------------------------------------------------------
+    def route_port(self, switch_name: str, dst_ip: int) -> int:
+        """Output port on ``switch_name`` toward the host owning ``dst_ip``."""
+        host = self.host_by_ip.get(dst_ip)
+        if host is None:
+            raise KeyError(f"no host with address {ip_to_str(dst_ip)}")
+        if host.switch_name == switch_name:
+            return host.port
+        next_switch = self._next_hop[switch_name][host.switch_name]
+        return self._port_to_neighbor[(switch_name, next_switch)]
+
+    def deliver(self, switch: Switch, out_port: int, packet: Packet) -> None:
+        """Move a packet out of ``switch`` via ``out_port`` (link delay)."""
+        endpoint = self._ports[switch.name].get(out_port)
+        if endpoint is None:
+            raise KeyError(f"switch {switch.name} has no port {out_port}")
+        kind, name = endpoint
+        delay = self.latency.link_delay(self.rng)
+        if kind == "switch":
+            neighbor = self.switches[name]
+            in_port = self._port_to_neighbor[(name, switch.name)]
+            self.sim.schedule(
+                delay, lambda: neighbor.receive(packet, in_port)
+            )
+        else:
+            host = self.hosts[name]
+            self.sim.schedule(delay, lambda: self._host_receive(host, packet))
+
+    def _host_receive(self, host: HostRecord, packet: Packet) -> None:
+        """Host-side packet handling: echo replies and probe observation."""
+        if packet.kind == ECHO_REQUEST and packet.flow.dst == host.ip:
+            reply = packet.make_reply(self.sim.now)
+            delay = self.latency.host_reply_delay(self.rng)
+            self.sim.schedule(delay, lambda: self.send_from_host(host, reply))
+            return
+        if packet.kind == ECHO_REPLY:
+            self.stats["replies"] += 1
+            if packet.probe_id is not None:
+                # The attacker shares the victim's segment (Section III):
+                # seeing the reply reach the spoofed source host closes
+                # the measurement.
+                self._probe_observations.setdefault(
+                    packet.probe_id, self.sim.now
+                )
+
+    def send_from_host(self, host: HostRecord, packet: Packet) -> None:
+        """Inject a packet from ``host`` into its access switch."""
+        switch = self.switches[host.switch_name]
+        delay = self.latency.link_delay(self.rng)
+        self.stats["host_sends"] += 1
+        self.sim.schedule(delay, lambda: switch.receive(packet, host.port))
+
+    # ------------------------------------------------------------------
+    # Workload entry points
+    # ------------------------------------------------------------------
+    def schedule_flow_arrival(self, flow: FlowId, time: float) -> None:
+        """Schedule one background flow arrival (an echo request)."""
+        host = self.host_by_ip.get(flow.src)
+        if host is None:
+            raise KeyError(f"no host for source {ip_to_str(flow.src)}")
+
+        def send() -> None:
+            packet = Packet(flow=flow, kind=ECHO_REQUEST, created=self.sim.now)
+            self.send_from_host(host, packet)
+
+        self.sim.schedule_at(time, send)
+
+    def schedule_arrivals(self, arrivals) -> None:
+        """Schedule a whole :func:`repro.flows.arrival` schedule."""
+        for arrival in arrivals:
+            flow = self.universe.flows[arrival.flow_index]
+            self.schedule_flow_arrival(flow, arrival.time)
+
+    def send_probe(self, flow: FlowId, probe_id: int) -> None:
+        """Inject an attacker probe (spoofed when needed) right now."""
+        attacker = self.hosts["attacker"]
+        packet = Packet(
+            flow=flow,
+            kind=ECHO_REQUEST,
+            created=self.sim.now,
+            spoofed=flow.src != attacker.ip,
+            probe_id=probe_id,
+        )
+        self.send_from_host(attacker, packet)
+
+    def probe_observation(self, probe_id: int) -> Optional[float]:
+        """Reply-observation time for a probe, if it has arrived."""
+        return self._probe_observations.get(probe_id)
+
+    # ------------------------------------------------------------------
+    # Defense hooks
+    # ------------------------------------------------------------------
+    def defense_observe(self, switch: Switch, packet: Packet) -> None:
+        """Let an attached defense see every packet entering a switch."""
+        if self.defense is not None:
+            self.defense.observe(switch, packet)
+
+    def defense_forward_delay(self, switch: Switch, packet: Packet) -> float:
+        """Extra hit-path delay contributed by an attached defense."""
+        if self.defense is None:
+            return 0.0
+        return self.defense.forward_delay(switch, packet)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ingress_switch(self) -> Switch:
+        """The reactive switch the monitored hosts attach to."""
+        return self.switches[self.ingress_name]
+
+    def cached_reactive_rules(self) -> Tuple[str, ...]:
+        """Reactive rules currently cached at the ingress switch."""
+        return self.ingress_switch.cached_reactive_rules()

@@ -1,0 +1,106 @@
+"""The attacker's measurement vantage point.
+
+:class:`Prober` injects probe flows from the attacker host (spoofing the
+source address when the probe flow belongs to another host, as in
+Section III-A), advances the simulation until the corresponding reply is
+observed, and classifies the measured response time against the paper's
+1 ms threshold: fast means a covering rule was already cached
+(``Q_f = 1``), slow means the flow took the controller round trip
+(``Q_f = 0``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.flows.flowid import FlowId
+from repro.simulator.network import Network
+from repro.simulator.timing import DEFAULT_THRESHOLD_SECONDS
+
+_probe_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One timed probe."""
+
+    flow: FlowId
+    send_time: float
+    rtt: Optional[float]
+    threshold: float
+
+    @property
+    def observed(self) -> bool:
+        """Whether a reply came back before the measurement deadline."""
+        return self.rtt is not None
+
+    @property
+    def hit(self) -> bool:
+        """``Q_f``: True iff the response was faster than the threshold.
+
+        An unobserved probe is conservatively classified as a miss (the
+        setup path is the slow one).
+        """
+        return self.rtt is not None and self.rtt < self.threshold
+
+    @property
+    def outcome(self) -> int:
+        """The hit bit as an integer (model convention)."""
+        return 1 if self.hit else 0
+
+
+class Prober:
+    """Sequential probe measurement against a live network."""
+
+    def __init__(
+        self,
+        network: Network,
+        threshold: float = DEFAULT_THRESHOLD_SECONDS,
+        timeout: float = 0.25,
+        gap: float = 0.0005,
+    ):
+        if threshold <= 0 or timeout <= 0 or gap < 0:
+            raise ValueError("threshold/timeout must be positive, gap >= 0")
+        self.network = network
+        self.threshold = threshold
+        self.timeout = timeout
+        self.gap = gap
+
+    def measure(self, flow: FlowId) -> ProbeResult:
+        """Send one probe and run the simulation until its reply.
+
+        The simulator is advanced event by event, so the clock ends at
+        the observation time (not the deadline) and back-to-back probes
+        stay tightly spaced, like a real attacker's.
+        """
+        network = self.network
+        sim = network.sim
+        probe_id = next(_probe_ids)
+        send_time = sim.now
+        network.send_probe(flow, probe_id)
+        deadline = send_time + self.timeout
+        while network.probe_observation(probe_id) is None:
+            next_time = sim.next_event_time
+            if next_time is None or next_time > deadline:
+                break
+            sim.step()
+        observed = network.probe_observation(probe_id)
+        rtt = None if observed is None else observed - send_time
+        return ProbeResult(
+            flow=flow, send_time=send_time, rtt=rtt, threshold=self.threshold
+        )
+
+    def measure_flows(self, flows: Sequence[FlowId]) -> List[ProbeResult]:
+        """Measure several probes back to back with a small gap."""
+        results: List[ProbeResult] = []
+        for index, flow in enumerate(flows):
+            if index > 0 and self.gap > 0:
+                self.network.sim.run_until(self.network.sim.now + self.gap)
+            results.append(self.measure(flow))
+        return results
+
+    def outcomes(self, flows: Sequence[FlowId]) -> List[int]:
+        """Hit bits for a probe sequence (the ``Q`` vector)."""
+        return [result.outcome for result in self.measure_flows(flows)]

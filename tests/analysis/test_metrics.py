@@ -1,0 +1,113 @@
+"""Tests for accuracy metrics and binned series."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    Accuracy,
+    BinnedSeries,
+    accuracy_from_pairs,
+    confusion_counts,
+    wilson_interval,
+)
+
+
+class TestConfusionCounts:
+    def test_all_quadrants(self):
+        pairs = [(1, 1), (0, 0), (0, 1), (1, 0)]
+        counts = confusion_counts(pairs)
+        assert counts == {"tp": 1, "tn": 1, "fp": 1, "fn": 1}
+
+    def test_invalid_labels(self):
+        with pytest.raises(ValueError):
+            confusion_counts([(2, 0)])
+
+
+class TestAccuracy:
+    def test_paper_definition(self):
+        # (TP + TN) / trials.
+        accuracy = Accuracy(tp=3, tn=5, fp=1, fn=1)
+        assert accuracy.value == pytest.approx(0.8)
+        assert accuracy.trials == 10
+
+    def test_rates(self):
+        accuracy = Accuracy(tp=3, tn=4, fp=1, fn=2)
+        assert accuracy.true_positive_rate == pytest.approx(0.6)
+        assert accuracy.true_negative_rate == pytest.approx(0.8)
+
+    def test_rates_none_when_undefined(self):
+        accuracy = Accuracy(tp=0, tn=5, fp=0, fn=0)
+        assert accuracy.true_positive_rate is None
+
+    def test_no_trials_rejected(self):
+        with pytest.raises(ValueError):
+            Accuracy(0, 0, 0, 0).value
+
+    def test_from_pairs(self):
+        assert Accuracy.from_pairs([(1, 1), (0, 1)]).value == 0.5
+
+    def test_shortcut(self):
+        assert accuracy_from_pairs([(0, 0), (1, 1), (1, 0)]) == pytest.approx(
+            2 / 3
+        )
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(70, 100)
+        assert low < 0.7 < high
+
+    def test_narrower_with_more_trials(self):
+        narrow = wilson_interval(700, 1000)
+        wide = wilson_interval(7, 10)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_bounds_in_unit_interval(self):
+        low, high = wilson_interval(0, 5)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+
+    @given(st.integers(0, 50), st.integers(1, 50))
+    def test_always_valid_interval(self, successes, extra):
+        trials = successes + extra
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestBinnedSeries:
+    def test_bin_assignment(self):
+        series = BinnedSeries(edges=[0.0, 0.5, 1.0])
+        assert series.bin_of(0.25) == 0
+        assert series.bin_of(0.5) == 1
+        assert series.bin_of(1.0) == 1  # closed last edge
+        assert series.bin_of(1.5) is None
+
+    def test_add_and_means(self):
+        series = BinnedSeries(edges=[0.0, 0.5, 1.0])
+        assert series.add(0.1, 10.0)
+        assert series.add(0.2, 20.0)
+        assert series.add(0.9, 5.0)
+        assert not series.add(2.0, 99.0)
+        assert series.means() == [15.0, 5.0]
+        assert series.counts() == [2, 1]
+
+    def test_empty_bin_mean_is_none(self):
+        series = BinnedSeries(edges=[0.0, 0.5, 1.0])
+        series.add(0.1, 1.0)
+        assert series.means() == [1.0, None]
+
+    def test_centers(self):
+        series = BinnedSeries(edges=[0.0, 0.5, 1.0])
+        assert series.centers() == [0.25, 0.75]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BinnedSeries(edges=[0.0])
+        with pytest.raises(ValueError):
+            BinnedSeries(edges=[1.0, 0.0])

@@ -1,0 +1,127 @@
+"""Tests for Markov chain utilities."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.chain import (
+    evolve,
+    per_flow_step_probabilities,
+    point_distribution,
+    row_sums,
+    stationary_distribution,
+    total_variation,
+    validate_stochastic,
+)
+
+
+@pytest.fixture
+def two_state_matrix():
+    return np.array([[0.9, 0.1], [0.5, 0.5]])
+
+
+class TestEvolve:
+    def test_zero_steps_returns_copy(self, two_state_matrix):
+        start = point_distribution(2, 0)
+        out = evolve(start, two_state_matrix, 0)
+        assert np.allclose(out, start)
+        assert out is not start
+
+    def test_single_step(self, two_state_matrix):
+        start = point_distribution(2, 0)
+        out = evolve(start, two_state_matrix, 1)
+        assert np.allclose(out, [0.9, 0.1])
+
+    def test_mass_conserved_stochastic(self, two_state_matrix):
+        start = np.array([0.3, 0.7])
+        out = evolve(start, two_state_matrix, 25)
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_sparse_matrix_supported(self, two_state_matrix):
+        start = point_distribution(2, 1)
+        dense = evolve(start, two_state_matrix, 7)
+        sparse_out = evolve(start, sparse.csr_matrix(two_state_matrix), 7)
+        assert np.allclose(dense, sparse_out)
+
+    def test_negative_steps_rejected(self, two_state_matrix):
+        with pytest.raises(ValueError):
+            evolve(point_distribution(2, 0), two_state_matrix, -1)
+
+
+class TestPointDistribution:
+    def test_concentrated(self):
+        dist = point_distribution(4, 2)
+        assert dist[2] == 1.0
+        assert dist.sum() == 1.0
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            point_distribution(3, 3)
+
+
+class TestValidation:
+    def test_valid_stochastic(self, two_state_matrix):
+        validate_stochastic(two_state_matrix)
+
+    def test_invalid_stochastic(self):
+        with pytest.raises(ValueError, match="row-stochastic"):
+            validate_stochastic(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_substochastic_accepted(self):
+        matrix = np.array([[0.5, 0.3], [0.1, 0.2]])
+        validate_stochastic(matrix, substochastic=True)
+
+    def test_substochastic_rejects_super(self):
+        matrix = np.array([[0.9, 0.3], [0.1, 0.2]])
+        with pytest.raises(ValueError):
+            validate_stochastic(matrix, substochastic=True)
+
+    def test_row_sums_sparse(self, two_state_matrix):
+        sums = row_sums(sparse.csr_matrix(two_state_matrix))
+        assert np.allclose(sums, [1.0, 1.0])
+
+
+class TestStationary:
+    def test_known_chain(self, two_state_matrix):
+        pi = stationary_distribution(two_state_matrix)
+        # Solve directly: pi0 * 0.1 = pi1 * 0.5 -> pi = (5/6, 1/6).
+        assert np.allclose(pi, [5 / 6, 1 / 6], atol=1e-9)
+
+    def test_fixed_point(self, two_state_matrix):
+        pi = stationary_distribution(two_state_matrix)
+        assert np.allclose(pi @ two_state_matrix, pi, atol=1e-9)
+
+
+class TestTotalVariation:
+    def test_identical(self):
+        assert total_variation(np.array([0.5, 0.5]), np.array([0.5, 0.5])) == 0
+
+    def test_disjoint(self):
+        assert total_variation(np.array([1.0, 0]), np.array([0, 1.0])) == 1.0
+
+
+class TestPerFlowStepProbabilities:
+    def test_normalisation(self):
+        p_flows, p_none = per_flow_step_probabilities(np.array([0.1, 0.3]))
+        assert p_flows.sum() + p_none == pytest.approx(1.0)
+
+    def test_closed_form(self):
+        rates = np.array([0.2, 0.3])
+        p_flows, p_none = per_flow_step_probabilities(rates)
+        denom = 1.0 + 0.5
+        assert np.allclose(p_flows, rates / denom)
+        assert p_none == pytest.approx(1.0 / denom)
+
+    def test_zero_rates(self):
+        p_flows, p_none = per_flow_step_probabilities(np.zeros(3))
+        assert p_none == 1.0
+        assert p_flows.sum() == 0.0
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            per_flow_step_probabilities(np.array([-0.1]))
+
+    def test_proportionality_preserved(self):
+        rates = np.array([0.1, 0.4])
+        p_flows, _ = per_flow_step_probabilities(rates)
+        assert p_flows[1] / p_flows[0] == pytest.approx(4.0)

@@ -1,0 +1,88 @@
+"""Tests for the multi-probe decision tree."""
+
+import pytest
+
+from repro.core.compact_model import CompactModel
+from repro.core.decision_tree import DecisionTree
+from repro.core.inference import OutcomeTable, ReconInference
+
+from tests.conftest import make_policy, make_universe
+
+
+@pytest.fixture
+def inference():
+    policy = make_policy([({0}, 4), ({0, 1}, 6), ({2}, 5)])
+    universe = make_universe([0.3, 0.4, 0.5, 0.2])
+    model = CompactModel(policy, universe, 0.25, cache_size=2)
+    return ReconInference(model, target_flow=0, window_steps=30)
+
+
+def synthetic_table():
+    return OutcomeTable(
+        probes=(0, 1),
+        outcome_probs={(0, 0): 0.5, (0, 1): 0.2, (1, 1): 0.3},
+        joint_absent={(0, 0): 0.45, (0, 1): 0.05, (1, 1): 0.03},
+    )
+
+
+class TestLeaves:
+    def test_one_leaf_per_outcome(self):
+        tree = DecisionTree(synthetic_table())
+        assert len(tree.leaves) == 3
+
+    def test_leaf_decisions_are_map(self):
+        tree = DecisionTree(synthetic_table())
+        decisions = {leaf.outcome: leaf.decision for leaf in tree.leaves}
+        assert decisions[(0, 0)] == 0  # P(present | 00) = 0.1
+        assert decisions[(0, 1)] == 1  # P(present | 01) = 0.75
+        assert decisions[(1, 1)] == 1  # P(present | 11) = 0.9
+
+    def test_leaf_probabilities(self):
+        tree = DecisionTree(synthetic_table())
+        total = sum(leaf.probability for leaf in tree.leaves)
+        assert total == pytest.approx(1.0)
+
+
+class TestPredict:
+    def test_known_outcomes(self):
+        tree = DecisionTree(synthetic_table())
+        assert tree.predict((0, 0)) == 0
+        assert tree.predict((1, 1)) == 1
+
+    def test_unknown_outcome_falls_back_to_majority(self):
+        tree = DecisionTree(synthetic_table())
+        # Overall P(present) = 1 - 0.53 = 0.47 < 0.5 -> majority 0.
+        assert tree.predict((1, 0)) == 0
+
+    def test_wrong_length_rejected(self):
+        tree = DecisionTree(synthetic_table())
+        with pytest.raises(ValueError, match="outcome bits"):
+            tree.predict((0,))
+
+
+class TestExpectedAccuracy:
+    def test_synthetic_value(self):
+        tree = DecisionTree(synthetic_table())
+        # Per-leaf max-posterior correctness: 0.9*0.5 + 0.75*0.2 + 0.9*0.3.
+        assert tree.expected_accuracy() == pytest.approx(
+            0.9 * 0.5 + 0.75 * 0.2 + 0.9 * 0.3
+        )
+
+    def test_bounded(self, inference):
+        tree = DecisionTree.build(inference, (0, 1))
+        assert 0.5 <= tree.expected_accuracy() <= 1.0
+
+
+class TestBuild:
+    def test_build_from_inference(self, inference):
+        tree = DecisionTree.build(inference, (0, 2))
+        assert tree.probes == (0, 2)
+        # Every leaf outcome has the right arity.
+        for leaf in tree.leaves:
+            assert len(leaf.outcome) == 2
+
+    def test_describe_lists_leaves(self):
+        tree = DecisionTree(synthetic_table())
+        text = tree.describe()
+        assert "probes: [0, 1]" in text
+        assert "Q=00" in text

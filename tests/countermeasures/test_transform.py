@@ -1,0 +1,146 @@
+"""Tests for rule-structure transformation and leakage measurement."""
+
+import pytest
+
+from repro.countermeasures.transform import (
+    merge_rule_pair,
+    merge_to_coarse,
+    policy_leakage,
+    split_to_microflows,
+)
+from repro.flows.policy import Policy
+
+from tests.conftest import make_policy, make_universe
+
+
+@pytest.fixture
+def policy():
+    """Three rules with overlap: r0={0}, r1={0,1}, r2={2,3}."""
+    return make_policy([({0}, 5), ({0, 1}, 8), ({2, 3}, 6)])
+
+
+class TestSplitToMicroflows:
+    def test_one_rule_per_flow(self, policy):
+        micro = split_to_microflows(policy)
+        assert len(micro) == 4
+        for rule in micro:
+            assert len(rule.flows) == 1
+
+    def test_covers_same_flows(self, policy):
+        micro = split_to_microflows(policy)
+        assert micro.covered_flows() == policy.covered_flows()
+
+    def test_inherits_install_rule_timeout(self, policy):
+        micro = split_to_microflows(policy)
+        # Flow 0's install rule in the original policy is r0 (t=5).
+        rule = micro[micro.highest_covering(0)]
+        assert rule.timeout_steps == 5
+        # Flow 1's install rule is r1 (t=8).
+        rule = micro[micro.highest_covering(1)]
+        assert rule.timeout_steps == 8
+
+    def test_result_is_valid_policy(self, policy):
+        micro = split_to_microflows(policy)
+        assert isinstance(micro, Policy)  # construction validates
+
+
+class TestMergeRulePair:
+    def test_union_of_flows(self, policy):
+        merged = merge_to_coarse(policy, 3)  # no-op at equal size
+        merged = merge_rule_pair(policy, 0, 1)
+        assert len(merged) == 2
+        union_rule = next(r for r in merged if "+" in r.name)
+        assert union_rule.flows == frozenset({0, 1})
+
+    def test_takes_longer_timeout(self, policy):
+        merged = merge_rule_pair(policy, 0, 1)
+        union_rule = next(r for r in merged if "+" in r.name)
+        assert union_rule.timeout_steps == 8
+
+    def test_self_merge_rejected(self, policy):
+        with pytest.raises(ValueError):
+            merge_rule_pair(policy, 1, 1)
+
+    def test_priorities_reindexed_valid(self, policy):
+        merged = merge_rule_pair(policy, 0, 2)
+        priorities = [r.priority for r in merged]
+        assert priorities == sorted(priorities, reverse=True)
+        assert len(set(priorities)) == len(priorities)
+
+
+class TestMergeToCoarse:
+    def test_reaches_target_count(self, policy):
+        assert len(merge_to_coarse(policy, 2)) == 2
+        assert len(merge_to_coarse(policy, 1)) == 1
+
+    def test_prefers_overlapping_pairs(self, policy):
+        merged = merge_to_coarse(policy, 2)
+        # r0 and r1 overlap on flow 0; they merge first, leaving r2.
+        names = {rule.name for rule in merged}
+        assert any("+" in name for name in names)
+        assert "r2" in names
+
+    def test_single_rule_covers_everything(self, policy):
+        merged = merge_to_coarse(policy, 1)
+        assert merged[0].flows == policy.covered_flows()
+
+    def test_target_validation(self, policy):
+        with pytest.raises(ValueError):
+            merge_to_coarse(policy, 0)
+
+    def test_noop_at_or_above_current_size(self, policy):
+        assert len(merge_to_coarse(policy, 3)) == 3
+        assert len(merge_to_coarse(policy, 10)) == 3
+
+
+class TestPolicyLeakage:
+    def test_microflows_leak_at_least_as_much_as_coarse(self):
+        # The defender's intuition the paper formalises: finer rules
+        # leak more about the target than one coarse blanket rule.
+        policy = make_policy([({0}, 6), ({1}, 6), ({0, 1, 2}, 6)])
+        universe = make_universe([0.1, 0.6, 0.4])
+        kwargs = dict(
+            universe=universe,
+            delta=0.25,
+            cache_size=2,
+            target_flow=0,
+            window_steps=20,
+        )
+        micro = policy_leakage(split_to_microflows(policy), **kwargs)
+        coarse = policy_leakage(merge_to_coarse(policy, 1), **kwargs)
+        assert micro >= coarse - 1e-9
+
+    def test_leakage_non_negative(self, policy):
+        universe = make_universe([0.2, 0.3, 0.1, 0.4])
+        assert (
+            policy_leakage(
+                policy,
+                universe,
+                delta=0.25,
+                cache_size=2,
+                target_flow=0,
+                window_steps=20,
+            )
+            >= 0.0
+        )
+
+    def test_candidate_restriction(self, policy):
+        universe = make_universe([0.2, 0.3, 0.1, 0.4])
+        restricted = policy_leakage(
+            policy,
+            universe,
+            delta=0.25,
+            cache_size=2,
+            target_flow=0,
+            window_steps=20,
+            candidates=[1, 2],
+        )
+        unrestricted = policy_leakage(
+            policy,
+            universe,
+            delta=0.25,
+            cache_size=2,
+            target_flow=0,
+            window_steps=20,
+        )
+        assert restricted <= unrestricted + 1e-12

@@ -1,0 +1,95 @@
+"""Tests for experiment result persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.persist import (
+    compare_headlines,
+    fig6_to_document,
+    fig7_to_document,
+    load_document,
+    save_result,
+)
+
+from tests.experiments.conftest import tiny_experiment_params
+
+BINS = ((0.5, 0.75), (0.75, 0.95))
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_fig6(
+        tiny_experiment_params(n_trials=6, seed=91), bins=BINS,
+        configs_per_bin=1,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return run_fig7(
+        tiny_experiment_params(n_trials=6, seed=92), bins=BINS,
+        configs_per_bin=1,
+    )
+
+
+class TestDocuments:
+    def test_fig6_document_is_json(self, fig6_result):
+        document = fig6_to_document(fig6_result)
+        text = json.dumps(document)  # must not raise
+        assert '"artifact": "fig6"' in text
+        assert document["headline"]["n_configs"] == 2.0
+
+    def test_fig7_document_is_json(self, fig7_result):
+        document = fig7_to_document(fig7_result)
+        json.dumps(document)
+        assert document["artifact"] == "fig7"
+        assert set(document["summary"]) >= {"constrained", "naive", "random"}
+
+    def test_config_rows_complete(self, fig6_result):
+        document = fig6_to_document(fig6_result)
+        for bucket in document["configurations"]:
+            for row in bucket:
+                assert {"prior_absent", "accuracies", "improvement"} <= set(
+                    row
+                )
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, fig6_result, tmp_path):
+        path = save_result(fig6_result, tmp_path / "out" / "fig6.json")
+        assert path.exists()
+        document = load_document(path)
+        assert document["artifact"] == "fig6"
+        assert document["bins"] == [list(b) for b in BINS]
+
+    def test_fig7_roundtrip(self, fig7_result, tmp_path):
+        path = save_result(fig7_result, tmp_path / "fig7.json")
+        assert load_document(path)["artifact"] == "fig7"
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_result(object(), tmp_path / "x.json")
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "foreign.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_document(path)
+
+
+class TestCompareHeadlines:
+    def test_deltas(self, fig6_result):
+        document = fig6_to_document(fig6_result)
+        rows = compare_headlines(document, document)
+        assert rows
+        for row in rows:
+            assert row["delta"] == pytest.approx(0.0)
+
+    def test_requires_fig6(self, fig6_result, fig7_result):
+        with pytest.raises(ValueError):
+            compare_headlines(
+                fig6_to_document(fig6_result), fig7_to_document(fig7_result)
+            )

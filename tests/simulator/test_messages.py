@@ -1,0 +1,52 @@
+"""Tests for packets and control messages."""
+
+from repro.flows.flowid import FlowId
+from repro.simulator.messages import (
+    ECHO_REPLY,
+    ECHO_REQUEST,
+    FlowMod,
+    Packet,
+    PacketIn,
+    PacketOut,
+)
+
+
+class TestPacket:
+    def test_ids_unique(self):
+        a = Packet(flow=FlowId(src=1, dst=2))
+        b = Packet(flow=FlowId(src=1, dst=2))
+        assert a.packet_id != b.packet_id
+
+    def test_defaults(self):
+        packet = Packet(flow=FlowId(src=1, dst=2))
+        assert packet.kind == ECHO_REQUEST
+        assert not packet.spoofed
+        assert packet.probe_id is None
+
+    def test_make_reply_reverses_flow(self):
+        packet = Packet(flow=FlowId(src=1, dst=2), probe_id=7)
+        reply = packet.make_reply(now=3.5)
+        assert reply.kind == ECHO_REPLY
+        assert reply.flow == FlowId(src=2, dst=1)
+        assert reply.created == 3.5
+        assert reply.probe_id == 7  # measurement id carried through
+
+    def test_reply_not_spoofed(self):
+        packet = Packet(flow=FlowId(src=1, dst=2), spoofed=True)
+        assert not packet.make_reply(0.0).spoofed
+
+
+class TestControlMessages:
+    def test_packet_in_fields(self):
+        packet = Packet(flow=FlowId(src=1, dst=2))
+        message = PacketIn(switch_name="s1", packet=packet, in_port=3)
+        assert message.switch_name == "s1"
+        assert message.in_port == 3
+
+    def test_flow_mod_and_packet_out(self):
+        from repro.flows.rules import Rule
+
+        rule = Rule(name="r")
+        assert FlowMod(rule=rule, out_port=2).out_port == 2
+        packet = Packet(flow=FlowId(src=1, dst=2))
+        assert PacketOut(packet=packet, out_port=4).out_port == 4

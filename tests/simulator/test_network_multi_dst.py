@@ -1,0 +1,89 @@
+"""Network assembly with multiple monitored destinations.
+
+The paper's setup has a single server; the library generalises the
+ingress to-controller plumbing to one helper rule per monitored
+destination, so universes with several services still take the reactive
+path.  These tests pin that generalisation down.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flows.flowid import PROTO_TCP, FlowId, str_to_ip
+from repro.flows.rules import Match, Rule
+from repro.flows.universe import FlowUniverse
+from repro.simulator.network import Network, TO_CONTROLLER_PRIORITY
+from repro.simulator.probing import Prober
+from repro.simulator.topology import linear_topology
+
+
+@pytest.fixture
+def network():
+    base = str_to_ip("10.5.0.0")
+    db = str_to_ip("10.5.0.100")
+    web = str_to_ip("10.5.0.101")
+    flows = (
+        FlowId(base + 1, db, PROTO_TCP, 0, 5432),
+        FlowId(base + 2, db, PROTO_TCP, 0, 5432),
+        FlowId(base + 1, web, PROTO_TCP, 0, 443),
+    )
+    universe = FlowUniverse(flows, (0.1, 0.1, 0.1))
+    rules = [
+        Rule(
+            name="to_db",
+            src=Match(base, 0xFFFFFFFC),
+            dst=Match.exact(db),
+            proto=PROTO_TCP,
+            priority=900,
+            idle_timeout=1.0,
+        ),
+        Rule(
+            name="to_web",
+            src=Match.exact(base + 1),
+            dst=Match.exact(web),
+            proto=PROTO_TCP,
+            priority=901,
+            idle_timeout=1.0,
+        ),
+    ]
+    return Network(
+        rules,
+        universe,
+        cache_size=2,
+        topology=linear_topology(2),
+        rng=np.random.default_rng(5),
+    )
+
+
+class TestMultiDestination:
+    def test_one_to_controller_rule_per_destination(self, network):
+        table = network.ingress_switch.table
+        to_ctrl = [
+            entry
+            for entry in table.entries
+            if entry.rule.priority == TO_CONTROLLER_PRIORITY
+        ]
+        assert len(to_ctrl) == 2  # db and web
+
+    def test_both_servers_reachable_reactively(self, network):
+        prober = Prober(network)
+        db_flow = network.universe.flows[0]
+        web_flow = network.universe.flows[2]
+        assert prober.outcomes([db_flow, db_flow]) == [0, 1]
+        assert prober.outcomes([web_flow, web_flow]) == [0, 1]
+
+    def test_server_hosts_created(self, network):
+        assert str_to_ip("10.5.0.100") in network.host_by_ip
+        assert str_to_ip("10.5.0.101") in network.host_by_ip
+
+    def test_monitored_dsts_cover_both(self, network):
+        assert network.monitored_dsts == {
+            str_to_ip("10.5.0.100"),
+            str_to_ip("10.5.0.101"),
+        }
+
+    def test_cross_service_rules_independent(self, network):
+        # Probing the web flow must not install the db rule.
+        prober = Prober(network)
+        prober.measure(network.universe.flows[2])
+        assert network.cached_reactive_rules() == ("to_web",)

@@ -1,0 +1,72 @@
+"""Tests for the latency model."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.timing import (
+    DEFAULT_THRESHOLD_SECONDS,
+    PAPER_HIT_MEAN,
+    PAPER_MISS_MEAN,
+    LatencyModel,
+)
+
+
+@pytest.fixture
+def model():
+    return LatencyModel.calibrated()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+class TestSampling:
+    def test_samples_positive(self, model, rng):
+        for _ in range(200):
+            assert model.link_delay(rng) > 0
+            assert model.controller_processing_delay(rng) > 0
+
+    def test_samples_clipped_at_tenth_of_mean(self, model, rng):
+        samples = [model.controller_processing_delay(rng) for _ in range(2000)]
+        assert min(samples) >= model.controller_proc_mean * 0.1
+
+    def test_sample_mean_near_parameter(self, model):
+        rng = np.random.default_rng(0)
+        samples = [model.link_delay(rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(model.link_mean, rel=0.15)
+
+    def test_noiseless_is_deterministic(self, rng):
+        model = LatencyModel.noiseless()
+        values = {model.controller_processing_delay(rng) for _ in range(10)}
+        assert len(values) == 1
+
+
+class TestDerivedQuantities:
+    def test_expected_setup_delay_composition(self, model):
+        expected = (
+            2 * model.control_link_mean
+            + model.controller_proc_mean
+            + model.flowmod_install_mean
+        )
+        assert model.expected_setup_delay() == pytest.approx(expected)
+
+    def test_setup_dwarfs_hit_path(self, model):
+        # The side channel requires t_setup >> per-hop forwarding time.
+        assert model.expected_setup_delay() > 20 * model.link_mean
+
+    def test_threshold_separates_paper_means(self):
+        assert PAPER_HIT_MEAN < DEFAULT_THRESHOLD_SECONDS < PAPER_MISS_MEAN
+
+
+class TestScaled:
+    def test_scaling_multiplies_all_fields(self, model):
+        scaled = model.scaled(2.0)
+        assert scaled.link_mean == pytest.approx(2 * model.link_mean)
+        assert scaled.controller_proc_std == pytest.approx(
+            2 * model.controller_proc_std
+        )
+
+    def test_scale_must_be_positive(self, model):
+        with pytest.raises(ValueError):
+            model.scaled(0.0)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in (
+            "demo",
+            "fig6a",
+            "fig6b",
+            "fig7a",
+            "fig7b",
+            "headline",
+            "timing",
+            "statecount",
+            "leakage",
+            "reproduce",
+        ):
+            args = parser.parse_args(
+                [command] if command in ("demo", "statecount")
+                else [command, "--seed", "1"]
+            )
+            assert callable(args.func)
+
+    def test_reproduce_defaults(self):
+        args = build_parser().parse_args(["reproduce"])
+        assert args.scale == 0.1
+        assert args.mode == "table"
+        assert args.out is None
+
+    def test_experiment_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.configs == 12
+        assert args.trials == 30
+        assert args.mode == "network"
+
+    def test_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig6a", "--mode", "warp"])
+
+
+class TestExecution:
+    def test_statecount_runs(self, capsys):
+        assert main(["statecount"]) == 0
+        out = capsys.readouterr().out
+        assert "State-space sizes" in out
+        assert "2509" in out
+
+    def test_timing_runs_small(self, capsys):
+        assert main(["timing", "--samples", "25", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Section VI-A" in out
+        assert "threshold" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "Flow reconnaissance demo" in out
+        assert "accuracy" in out
+
+    def test_leakage_runs(self, capsys):
+        assert main(["leakage", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Per-flow leakage map" in out
+        assert "microflow split" in out

@@ -1,0 +1,49 @@
+"""Smoke tests: the example scripts run and tell their stories.
+
+``countermeasure_eval.py`` is excluded here (it rejection-samples a
+screened paper-scale configuration, which is minutes of work); it is
+exercised through the countermeasures benchmark instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 300.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "2017")
+        assert "optimal probe" in out
+        assert "accuracy" in out
+        assert "Figure 6b's quantity" in out
+
+    def test_web_visit_recon(self):
+        out = run_example("web_visit_recon.py")
+        assert "NOT the target" in out  # the Figure 2c insight fires
+        assert "naive (probe f1) accuracy" in out
+
+    def test_ids_logging_recon(self):
+        out = run_example("ids_logging_recon.py")
+        assert "Decision tree" in out
+        assert "model-2probe" in out
+
+    def test_defender_leakage_audit(self):
+        out = run_example("defender_leakage_audit.py", "12")
+        assert "Per-flow leakage map" in out
+        assert "microflow split" in out
