@@ -22,6 +22,10 @@ bench-full:
 demo:
 	$(PYTHON) -m repro.cli demo
 
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	PYTHONPATH=src $(PYTHON) -m pytest --collect-only -q tests benchmarks > /dev/null
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/web_visit_recon.py

@@ -10,6 +10,7 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     repro-sdn timing [--samples N]
     repro-sdn statecount
     repro-sdn headline [...]
+    repro-sdn select [--probes M --method ... --n-jobs J]
 
 Every command prints the same plain-text tables the benchmark suite
 emits, so results are scriptable without pytest.
@@ -232,6 +233,61 @@ def _cmd_leakage(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_select(args: argparse.Namespace) -> int:
+    from repro.core.compact_model import CompactModel
+    from repro.core.inference import ReconInference
+    from repro.core.selection import best_probe_set
+    from repro.experiments.report import format_table
+    from repro.flows.config import ConfigGenerator, ConfigParams
+
+    params = ConfigParams(
+        n_flows=args.flows,
+        mask_bits=args.flows.bit_length() - 1,
+        n_rules=args.rules,
+        cache_size=args.cache,
+    )
+    config = ConfigGenerator(params, seed=args.seed).sample()
+    model = CompactModel(
+        config.policy,
+        config.universe,
+        config.delta,
+        config.cache_size,
+    )
+    inference = ReconInference(
+        model, config.target_flow, config.window_steps
+    )
+    choice = best_probe_set(
+        inference,
+        args.probes,
+        method=args.method,
+        n_jobs=args.n_jobs,
+    )
+    print(config.describe())
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["probes", ", ".join(str(f) for f in choice.probes)],
+                ["joint gain (bits)", f"{choice.gain:.6f}"],
+                ["prior P(absent)", f"{inference.prior_absent():.6f}"],
+                ["method", args.method],
+            ],
+            title=f"Optimal {args.probes}-probe set (Section V)",
+        )
+    )
+    if choice.stats is not None:
+        print()
+        print(
+            format_table(
+                ["counter", "value"],
+                choice.stats.rows(),
+                title="Probe-scoring engine statistics",
+            )
+        )
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import reproduce_all
 
@@ -332,6 +388,30 @@ def build_parser() -> argparse.ArgumentParser:
     leakage.add_argument("--cache", type=int, default=4)
     leakage.add_argument("--seed", type=int, default=12)
     leakage.set_defaults(func=_cmd_leakage)
+
+    select = sub.add_parser(
+        "select",
+        help="optimal probe-set selection with engine statistics",
+    )
+    select.add_argument(
+        "--flows", type=int, default=8,
+        help="universe size (a power of two; default 8 for speed)",
+    )
+    select.add_argument("--rules", type=int, default=8)
+    select.add_argument("--cache", type=int, default=4)
+    select.add_argument("--seed", type=int, default=12)
+    select.add_argument(
+        "--probes", type=int, default=2,
+        help="probe-set size (Section V-B)",
+    )
+    select.add_argument(
+        "--method", choices=("exhaustive", "greedy"), default="exhaustive"
+    )
+    select.add_argument(
+        "--n-jobs", type=int, default=1,
+        help="processes for candidate scoring (1 = in-process)",
+    )
+    select.set_defaults(func=_cmd_select)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate every paper artifact in one run"

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 
 from repro.core.compact_model import CompactModel
+from repro.core.engine import batched_conditional_gains
 from repro.core.gain import binary_entropy, information_gain
 from repro.core.inference import ReconInference
 from repro.core.probe import apply_probe, probe_outcome
@@ -59,9 +60,12 @@ class AdaptiveSession:
         max_probes: int = 3,
         min_gain: float = 1e-9,
         allow_repeats: bool = False,
+        n_jobs: int = 1,
     ):
         if max_probes < 1:
             raise ValueError("max_probes must be >= 1")
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
         self.inference = inference
         self.model: CompactModel = inference.model
         if candidates is None:
@@ -72,6 +76,7 @@ class AdaptiveSession:
         self.max_probes = max_probes
         self.min_gain = min_gain
         self.allow_repeats = allow_repeats
+        self.n_jobs = int(n_jobs)
 
         states = self.model.states
         self._weights_full: Dict[int, float] = {
@@ -144,22 +149,35 @@ class AdaptiveSession:
         """The next probe flow, or ``None`` when the session is done.
 
         Must be followed by :meth:`observe` with the measured bit before
-        the next call.
+        the next call.  Candidate scoring runs on the engine's batched
+        conditional-gain path (fanned out over processes when the
+        session was built with ``n_jobs > 1``); the winner scan is the
+        same canonical-order loop as the per-flow reference
+        (:meth:`_conditional_gain`), so the chosen probe is identical.
         """
         if self._pending_flow is not None:
             raise RuntimeError("observe() the pending probe first")
         if len(self.history) >= self.max_probes:
             return None
         used = {flow for flow, _ in self.history}
+        allowed = [
+            flow
+            for flow in self.candidates
+            if self.allow_repeats or flow not in used
+        ]
+        gains = batched_conditional_gains(
+            self.model,
+            self._weights_full,
+            self._weights_absent,
+            allowed,
+            n_jobs=self.n_jobs,
+        )
         best_flow: Optional[int] = None
         best_gain = self.min_gain
-        for flow in self.candidates:
-            if not self.allow_repeats and flow in used:
-                continue
-            gain = self._conditional_gain(flow)
+        for flow, gain in zip(allowed, gains):
             if gain > best_gain + 1e-15:
                 best_flow = flow
-                best_gain = gain
+                best_gain = float(gain)
         if best_flow is None:
             return None
         self._pending_flow = best_flow
@@ -196,6 +214,7 @@ class AdaptiveSession:
             max_probes=self.max_probes,
             min_gain=self.min_gain,
             allow_repeats=self.allow_repeats,
+            n_jobs=self.n_jobs,
         )
         prior = self.inference.prior_absent()
         leaf_entropy = _expected_leaf_entropy(root)
@@ -218,6 +237,7 @@ def _expected_leaf_entropy(session: AdaptiveSession) -> float:
             max_probes=session.max_probes,
             min_gain=session.min_gain,
             allow_repeats=session.allow_repeats,
+            n_jobs=session.n_jobs,
         )
         child._weights_full = dict(session._weights_full)
         child._weights_absent = dict(session._weights_absent)
@@ -250,11 +270,13 @@ class AdaptiveModelAttacker:
         candidates: Optional[Sequence[int]] = None,
         max_probes: int = 3,
         min_gain: float = 1e-9,
+        n_jobs: int = 1,
     ):
         self.inference = inference
         self.candidates = candidates
         self.max_probes = max_probes
         self.min_gain = min_gain
+        self.n_jobs = int(n_jobs)
 
     def start_session(self) -> AdaptiveSession:
         """A fresh session for one trial."""
@@ -263,4 +285,5 @@ class AdaptiveModelAttacker:
             candidates=self.candidates,
             max_probes=self.max_probes,
             min_gain=self.min_gain,
+            n_jobs=self.n_jobs,
         )

@@ -83,6 +83,8 @@ class ModelAttacker(Attacker):
         tree.
     selection_method:
         ``"exhaustive"`` or ``"greedy"`` probe-set search.
+    n_jobs:
+        Fan probe scoring out over this many processes (engine option).
     """
 
     name = "model"
@@ -94,6 +96,7 @@ class ModelAttacker(Attacker):
         n_probes: int = 1,
         decision: str = "query",
         selection_method: str = "exhaustive",
+        n_jobs: int = 1,
     ):
         if decision not in ("query", "map"):
             raise ValueError(f"unknown decision rule: {decision!r}")
@@ -101,7 +104,11 @@ class ModelAttacker(Attacker):
         self.n_probes = int(n_probes)
         self.decision = decision
         choice = best_probe_set(
-            inference, self.n_probes, candidates, method=selection_method
+            inference,
+            self.n_probes,
+            candidates,
+            method=selection_method,
+            n_jobs=n_jobs,
         )
         self.choice = choice
         self._tree = DecisionTree.build(inference, choice.probes)
@@ -142,6 +149,7 @@ class ConstrainedModelAttacker(ModelAttacker):
         n_probes: int = 1,
         decision: str = "query",
         selection_method: str = "exhaustive",
+        n_jobs: int = 1,
     ):
         if candidates is None:
             candidates = range(inference.model.context.n_flows)
@@ -156,6 +164,7 @@ class ConstrainedModelAttacker(ModelAttacker):
             n_probes=n_probes,
             decision=decision,
             selection_method=selection_method,
+            n_jobs=n_jobs,
         )
 
 

@@ -172,6 +172,62 @@ class BasicModel:
         return result
 
     # ------------------------------------------------------------------
+    # Target-excluded (substochastic) dynamics
+    # ------------------------------------------------------------------
+    def _excluded_probabilities(
+        self, excluded: Iterable[int]
+    ) -> Tuple[float, float]:
+        """``(total arrival mass, uncovered arrival mass)`` of a flow set."""
+        p_excluded = 0.0
+        p_uncovered = 0.0
+        for flow in excluded:
+            p_flow = float(self._p_flows[flow])
+            p_excluded += p_flow
+            if self.context.install_rule[flow] is None:
+                p_uncovered += p_flow
+        return p_excluded, p_uncovered
+
+    def _transitions_excluding(
+        self,
+        state: BasicState,
+        excluded: FrozenSet[int],
+        p_excluded: float,
+        p_uncovered: float,
+    ) -> List[Transition]:
+        """Outgoing transitions with the excluded flows' mass removed.
+
+        Every step must shed exactly the per-step probability of an
+        excluded flow arriving, so that the surviving mass after ``T``
+        steps is ``(1 - sum p_f)^T`` -- the Section V-A joint
+        ``P(no excluded flow occurred ∧ state)``, and the same quantity
+        the compact model's tagged-entry construction yields.  Three
+        cases per state:
+
+        * covered excluded flows own tagged transitions: drop them;
+        * uncovered excluded flows were folded into the no-arrival
+          event at construction: subtract their mass from it;
+        * timeout states have a single probability-1 transition carrying
+          no arrival at all ("timeout takes priority"): scale it by the
+          survival probability instead.
+        """
+        transitions = self.transitions(state)
+        if not excluded or p_excluded <= 0.0:
+            return transitions
+        if self._timeout_successor(state) is not None:
+            successor, prob, tag = transitions[0]
+            return [(successor, prob * (1.0 - p_excluded), tag)]
+        result: List[Transition] = []
+        for successor, prob, tag in transitions:
+            if tag in excluded:
+                continue
+            if tag == NO_FLOW and p_uncovered > 0.0:
+                prob -= p_uncovered
+                if prob <= 0.0:
+                    continue
+            result.append((successor, prob, tag))
+        return result
+
+    # ------------------------------------------------------------------
     # Distribution evolution
     # ------------------------------------------------------------------
     @staticmethod
@@ -194,16 +250,17 @@ class BasicModel:
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
-        excluded = set(exclude_flows)
+        excluded = frozenset(int(f) for f in exclude_flows)
+        p_excluded, p_uncovered = self._excluded_probabilities(excluded)
         current = dict(distribution)
         for _ in range(steps):
             nxt: Dict[BasicState, float] = {}
             for state, mass in current.items():
                 if mass <= prune:
                     continue
-                for successor, prob, tag in self.transitions(state):
-                    if tag in excluded:
-                        continue
+                for successor, prob, tag in self._transitions_excluding(
+                    state, excluded, p_excluded, p_uncovered
+                ):
                     weight = mass * prob
                     if weight <= 0.0:
                         continue
@@ -277,13 +334,16 @@ class BasicModel:
 
         states = self.enumerate_reachable(start=start, max_states=max_states)
         index = {state: i for i, state in enumerate(states)}
-        excluded = set(exclude_flows)
+        excluded = frozenset(int(f) for f in exclude_flows)
+        p_excluded, p_uncovered = self._excluded_probabilities(excluded)
         rows: List[int] = []
         cols: List[int] = []
         probs: List[float] = []
         for row, state in enumerate(states):
-            for successor, prob, tag in self.transitions(state):
-                if tag in excluded or prob <= 0.0:
+            for successor, prob, tag in self._transitions_excluding(
+                state, excluded, p_excluded, p_uncovered
+            ):
+                if prob <= 0.0:
                     continue
                 rows.append(row)
                 cols.append(index[successor])

@@ -27,14 +27,18 @@ def evolve(
     """Apply ``steps`` chain steps: ``d <- d @ A`` repeated.
 
     Works for dense and scipy-sparse matrices.  ``steps == 0`` returns a
-    copy of the input distribution.
+    copy of the input distribution.  A 2-D input is treated as a stack
+    of row distributions, all evolved in one matrix product per step
+    (the batched path of the probe-scoring engine).
     """
     if steps < 0:
         raise ValueError("steps must be non-negative")
     current = np.asarray(distribution, dtype=np.float64).copy()
+    stacked = current.ndim > 1
     for _ in range(steps):
-        current = current @ matrix
-        current = np.asarray(current).ravel()
+        current = np.asarray(current @ matrix)
+        if not stacked:
+            current = current.ravel()
     return current
 
 

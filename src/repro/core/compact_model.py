@@ -104,6 +104,8 @@ class CompactModel:
         self._entries: Optional[
             Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = None
+        self._coverage_cache: Dict[int, np.ndarray] = {}
+        self._probe_matrix_cache: Dict[int, sparse.csr_matrix] = {}
 
     # ------------------------------------------------------------------
     # Public conveniences
@@ -129,6 +131,59 @@ class CompactModel:
     def eviction_distribution(self, state: int) -> Dict[int, float]:
         """Eviction split for a (bitmask) state, from the estimator."""
         return self.estimator.stats(state).eviction
+
+    # ------------------------------------------------------------------
+    # Vectorised probe views (the probe-scoring engine's primitives)
+    # ------------------------------------------------------------------
+    def coverage_vector(self, flow: int) -> np.ndarray:
+        """0/1 vector over states: 1 where a probe of ``flow`` hits."""
+        flow = int(flow)
+        cached = self._coverage_cache.get(flow)
+        if cached is None:
+            ctx = self.context
+            cached = np.fromiter(
+                (
+                    1.0 if ctx.state_covers(flow, state) else 0.0
+                    for state in self.states
+                ),
+                dtype=np.float64,
+                count=self.n_states,
+            )
+            self._coverage_cache[flow] = cached
+        return cached
+
+    def coverage_matrix(self, flows: Iterable[int]) -> np.ndarray:
+        """Stacked coverage vectors, one row per flow."""
+        return np.stack([self.coverage_vector(flow) for flow in flows])
+
+    def probe_matrix(self, flow: int) -> sparse.csr_matrix:
+        """Row-stochastic matrix of a probe's cache perturbation.
+
+        Row ``i`` spreads state ``i`` over the successor states of
+        probing ``flow`` there: identity for hits and uncovered misses,
+        the install/evict branching for covered misses (the same
+        semantics as :func:`repro.core.probe.apply_probe`).
+        """
+        flow = int(flow)
+        cached = self._probe_matrix_cache.get(flow)
+        if cached is None:
+            from repro.core.probe import apply_probe
+
+            rows: List[int] = []
+            cols: List[int] = []
+            probs: List[float] = []
+            for row, state in enumerate(self.states):
+                for successor, prob in apply_probe(self, state, flow):
+                    if prob <= 0.0:
+                        continue
+                    rows.append(row)
+                    cols.append(self.state_index[successor])
+                    probs.append(prob)
+            cached = sparse.coo_matrix(
+                (probs, (rows, cols)), shape=(self.n_states, self.n_states)
+            ).tocsr()
+            self._probe_matrix_cache[flow] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Transition construction

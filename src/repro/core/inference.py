@@ -31,6 +31,11 @@ from repro.core.gain import (
 )
 from repro.core.probe import walk_probes
 
+#: Weight threshold below which distribution entries are dropped; the
+#: same value the dict-based frontier walk (`walk_probes`) uses, so the
+#: vectorised prefix cache prunes identically.
+PRUNE = 1e-15
+
 
 @dataclass(frozen=True)
 class OutcomeTable:
@@ -91,21 +96,109 @@ class ReconInference:
         self.window_steps = int(window_steps)
 
         start = model.initial_distribution() if initial is None else initial
-        matrix_absent = model.transition_matrix(
-            exclude_flows=(self.target_flow,)
-        )
+        self._start = np.asarray(start, dtype=np.float64)
+        #: Work counters read by the probe-scoring engine's
+        #: :class:`~repro.core.engine.ScoringStats`.
+        self.counters: Dict[str, int] = {
+            "evolutions": 0,
+            "prefix_cache_hits": 0,
+            "prefix_cache_misses": 0,
+            "prefix_extensions": 0,
+        }
+        #: ``exclusion tuple -> T-step evolved distribution``.
+        self._evolution_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+        #: ``(exclusion tuple, probe prefix) -> stacked per-outcome rows``.
+        self._prefix_cache: Dict[
+            Tuple[Tuple[int, ...], Tuple[int, ...]], np.ndarray
+        ] = {}
+
         if precomputed_full is not None:
             # The full-chain distribution does not depend on the target;
             # callers fitting many targets on one model (e.g. leakage
             # maps) compute it once and pass it in.
             self.dist_full = np.asarray(precomputed_full, dtype=np.float64)
+            self._evolution_cache[()] = self.dist_full
         else:
-            matrix_full = model.transition_matrix()
             #: ``I_T``: distribution over cache states after ``T`` steps.
-            self.dist_full = evolve(start, matrix_full, window_steps)
+            self.dist_full = self.evolution(())
         #: Substochastic weighting: mass[state] = P(X̂=0 ∧ state).
-        self.dist_absent = evolve(start, matrix_absent, window_steps)
+        self.dist_absent = self.evolution((self.target_flow,))
         self._table_cache: Dict[Tuple[int, ...], OutcomeTable] = {}
+
+    # ------------------------------------------------------------------
+    # Shared evolution + prefix caches (the probe-scoring engine's core)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _exclusion_key(exclusion: Sequence[int]) -> Tuple[int, ...]:
+        return tuple(sorted(set(int(f) for f in exclusion)))
+
+    def evolution(self, exclusion: Sequence[int] = ()) -> np.ndarray:
+        """The ``T``-step evolved distribution, memoised per exclusion set.
+
+        With ``exclusion`` empty this is ``I_T``; with flows excluded it
+        is the substochastic weighting whose per-state mass is
+        ``P(no excluded flow occurred ∧ state)`` (Section V-A).
+        """
+        key = self._exclusion_key(exclusion)
+        cached = self._evolution_cache.get(key)
+        if cached is not None:
+            return cached
+        matrix = self.model.transition_matrix(exclude_flows=key)
+        self.counters["evolutions"] += 1
+        dist = evolve(self._start, matrix, self.window_steps)
+        self._evolution_cache[key] = dist
+        return dist
+
+    def prefix_distribution(
+        self,
+        prefix: Sequence[int] = (),
+        exclusion: Sequence[int] = (),
+    ) -> np.ndarray:
+        """Per-outcome state weightings after a probe prefix, memoised.
+
+        Returns a ``(2**len(prefix), n_states)`` array whose row ``r``
+        holds the joint weighting ``P(outcome(prefix) = r ∧ state)``
+        (under the excluded chain when ``exclusion`` is non-empty).  Row
+        encoding: the first probe's bit is the most significant, so a
+        parent row ``r`` splits into children ``2r`` (miss) and
+        ``2r + 1`` (hit).  Entries at or below :data:`PRUNE` are zeroed,
+        mirroring the dict walk's frontier pruning.
+        """
+        excl_key = self._exclusion_key(exclusion)
+        probes = tuple(int(f) for f in prefix)
+        key = (excl_key, probes)
+        cached = self._prefix_cache.get(key)
+        if cached is not None:
+            self.counters["prefix_cache_hits"] += 1
+            return cached
+        self.counters["prefix_cache_misses"] += 1
+        if not probes:
+            base = self.evolution(excl_key)
+            rows = np.where(base > PRUNE, base, 0.0)[np.newaxis, :]
+        else:
+            parent = self.prefix_distribution(probes[:-1], excl_key)
+            rows = self._extend_prefix(parent, probes[-1])
+        self._prefix_cache[key] = rows
+        return rows
+
+    def _extend_prefix(self, parent: np.ndarray, flow: int) -> np.ndarray:
+        """Split every parent row by one probe's outcome and perturb.
+
+        The probe's outcome is read off the state *before* its cache
+        perturbation (install/evict) is applied; both halves are then
+        pushed through the probe's perturbation matrix so they can feed
+        the next probe -- the Section V-B incremental adjustment, done
+        for all outcome rows in one stacked sparse product.
+        """
+        self.counters["prefix_extensions"] += 1
+        coverage = self.model.coverage_vector(flow)
+        hit = parent * coverage
+        miss = parent - hit
+        stacked = np.empty((2 * parent.shape[0], parent.shape[1]))
+        stacked[0::2] = miss
+        stacked[1::2] = hit
+        pushed = evolve(stacked, self.model.probe_matrix(flow), 1)
+        return np.where(pushed > PRUNE, pushed, 0.0)
 
     # ------------------------------------------------------------------
     # Priors

@@ -92,17 +92,24 @@ class ConfigHarness:
             self.inference,
             n_probes=params.n_probes,
             decision=params.decision,
+            n_jobs=params.selection_n_jobs,
         )
         self.constrained_attacker = ConstrainedModelAttacker(
             self.inference,
             n_probes=params.n_probes,
             decision=params.constrained_decision,
+            n_jobs=params.selection_n_jobs,
         )
         self.random_attacker = RandomAttacker(
             prior_present=1.0 - self.inference.prior_absent(),
             rng=self.rng,
             mode=params.random_attacker_mode,
         )
+
+    @property
+    def scoring_stats(self):
+        """Engine instrumentation from the model attacker's selection."""
+        return self.model_attacker.choice.stats
 
     @classmethod
     def sample(

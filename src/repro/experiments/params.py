@@ -45,6 +45,9 @@ class ExperimentParams:
     #: Apply the paper's detector-viability screen to configurations.
     screen: bool = True
     random_attacker_mode: str = "sample"
+    #: Processes for the probe-scoring engine's candidate fan-out
+    #: (1 = in-process; results are identical for every setting).
+    selection_n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.n_configs < 1 or self.n_trials < 1:
@@ -53,6 +56,8 @@ class ExperimentParams:
             raise ValueError(f"unknown trial mode: {self.trial_mode!r}")
         if self.n_probes < 1:
             raise ValueError("n_probes must be >= 1")
+        if self.selection_n_jobs < 1:
+            raise ValueError("selection_n_jobs must be >= 1")
 
     def with_absence_range(
         self, low: float, high: float

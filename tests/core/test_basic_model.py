@@ -148,16 +148,17 @@ class TestDistributionEvolution:
         assert sum(dist.values()) == pytest.approx(1.0)
 
     def test_exclusion_substochastic(self, fig3_model):
-        # Timeout steps carry no arrivals (the paper's "timeout takes
-        # priority"), so the surviving mass lies between (1 - p_f0)^T
-        # (arrivals possible every step) and 1.
+        # Every step sheds exactly the excluded flow's arrival mass
+        # (timeout-priority steps are scaled by the survival
+        # probability), so the surviving mass is the geometric
+        # (1 - p_f0)^T -- matching the compact model's construction.
         steps = 20
         dist = fig3_model.distribution_after(steps, exclude_flows=(0,),
                                              prune=0.0)
         rates = np.asarray(fig3_model.context.step_rates)
         p_f0 = rates[0] / (1.0 + rates.sum())
         mass = sum(dist.values())
-        assert (1.0 - p_f0) ** steps <= mass < 1.0
+        assert mass == pytest.approx((1.0 - p_f0) ** steps, rel=1e-12)
 
     def test_pruning_bounds_support(self, fig3_model):
         pruned = fig3_model.distribution_after(25, prune=1e-6)

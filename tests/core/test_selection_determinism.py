@@ -1,0 +1,123 @@
+"""Determinism regression tests for probe selection.
+
+Tie-breaking must be stable: repeated runs, different ``n_jobs``
+settings, and engine-vs-serial paths all pick the same probes with the
+same gains.  The engine guarantees this by scoring in fixed-size blocks
+(shapes independent of parallelism) and always resolving the argmax in
+a single serial scan over the canonical candidate order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.adaptive import AdaptiveSession
+from repro.core.compact_model import CompactModel
+from repro.core.engine import ProbeScoringEngine
+from repro.core.inference import ReconInference
+from repro.core.selection import best_probe_set, best_single_probe
+from tests.conftest import make_policy, make_universe
+
+
+@pytest.fixture
+def symmetric_inference():
+    """Two interchangeable flows -> exact gain ties to break."""
+    universe = make_universe([0.5, 0.5, 1.0])
+    policy = make_policy([({0}, 5), ({1}, 5), ({2}, 7)])
+    model = CompactModel(policy, universe, 0.05, 2)
+    return ReconInference(model, target_flow=2, window_steps=10)
+
+
+@pytest.fixture
+def generic_inference():
+    universe = make_universe([0.3, 0.9, 0.5, 1.1])
+    policy = make_policy([({0, 1}, 6), ({2}, 4), ({1, 3}, 8)])
+    model = CompactModel(policy, universe, 0.05, 2)
+    return ReconInference(model, target_flow=1, window_steps=12)
+
+
+class TestRepeatedRuns:
+    def test_single_probe_stable(self, generic_inference):
+        first = best_single_probe(generic_inference)
+        for _ in range(3):
+            again = best_single_probe(generic_inference)
+            assert again.probes == first.probes
+            assert again.gain == first.gain
+
+    def test_probe_set_stable(self, generic_inference):
+        for method in ("exhaustive", "greedy"):
+            first = best_probe_set(generic_inference, 2, method=method)
+            for _ in range(3):
+                again = best_probe_set(generic_inference, 2, method=method)
+                assert again.probes == first.probes
+                assert again.gain == first.gain
+
+
+class TestTieBreaking:
+    def test_symmetric_flows_pick_first(self, symmetric_inference):
+        """Flows 0 and 1 are interchangeable; the scan keeps the first."""
+        choice = best_single_probe(symmetric_inference, candidates=[0, 1])
+        assert choice.probes == (0,)
+
+    def test_candidate_order_is_tie_break_order(self, symmetric_inference):
+        """best_single_probe honours the *given* candidate order."""
+        forward = best_single_probe(symmetric_inference, candidates=[0, 1])
+        reverse = best_single_probe(symmetric_inference, candidates=[1, 0])
+        assert forward.probes == (0,)
+        assert reverse.probes == (1,)
+        assert forward.gain == pytest.approx(reverse.gain, abs=1e-12)
+
+    def test_probe_set_canonicalizes_candidates(self, symmetric_inference):
+        """best_probe_set sorts candidates, so order does not matter."""
+        forward = best_probe_set(symmetric_inference, 2, candidates=[0, 1, 2])
+        shuffled = best_probe_set(symmetric_inference, 2, candidates=[2, 0, 1])
+        assert forward.probes == shuffled.probes
+        assert forward.gain == shuffled.gain
+
+
+class TestAcrossNJobs:
+    def test_single_probe_bitwise_equal(self, generic_inference):
+        serial = ProbeScoringEngine(generic_inference, n_jobs=1)
+        fanout = ProbeScoringEngine(generic_inference, n_jobs=2)
+        probes_1, gain_1 = serial.best_single()
+        probes_2, gain_2 = fanout.best_single()
+        assert probes_1 == probes_2
+        assert gain_1 == gain_2  # bitwise, not approx
+
+    @pytest.mark.parametrize("method", ["exhaustive", "greedy"])
+    def test_probe_set_bitwise_equal(self, generic_inference, method):
+        serial = ProbeScoringEngine(generic_inference, n_jobs=1)
+        fanout = ProbeScoringEngine(generic_inference, n_jobs=2)
+        probes_1, gain_1 = serial.best_set(2, method=method)
+        probes_2, gain_2 = fanout.best_set(2, method=method)
+        assert probes_1 == probes_2
+        assert gain_1 == gain_2
+
+    def test_selection_api_n_jobs(self, generic_inference):
+        serial = best_probe_set(generic_inference, 2, n_jobs=1)
+        fanout = best_probe_set(generic_inference, 2, n_jobs=2)
+        assert fanout.probes == serial.probes
+        assert fanout.gain == serial.gain
+        assert fanout.stats is not None
+        assert fanout.stats.n_jobs == 2
+
+    def test_adaptive_session_n_jobs(self, generic_inference):
+        runs = []
+        for n_jobs in (1, 2):
+            session = AdaptiveSession(
+                generic_inference, max_probes=3, n_jobs=n_jobs
+            )
+            trace = []
+            for _ in range(3):
+                flow = session.next_probe()
+                if flow is None:
+                    break
+                trace.append(flow)
+                session.observe(0)
+            runs.append((tuple(trace), session.posterior_absent()))
+        assert runs[0][0] == runs[1][0]
+        assert runs[0][1] == runs[1][1]
+
+    def test_adaptive_rejects_bad_n_jobs(self, generic_inference):
+        with pytest.raises(ValueError, match="n_jobs"):
+            AdaptiveSession(generic_inference, n_jobs=0)

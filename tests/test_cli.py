@@ -22,6 +22,7 @@ class TestParser:
             "timing",
             "statecount",
             "leakage",
+            "select",
             "reproduce",
         ):
             args = parser.parse_args(
@@ -71,3 +72,16 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Per-flow leakage map" in out
         assert "microflow split" in out
+
+    def test_select_runs(self, capsys):
+        assert main(["select", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Optimal 2-probe set" in out
+        assert "Probe-scoring engine statistics" in out
+        assert "prefix cache hits" in out
+
+    def test_select_defaults(self):
+        args = build_parser().parse_args(["select"])
+        assert args.probes == 2
+        assert args.method == "exhaustive"
+        assert args.n_jobs == 1
