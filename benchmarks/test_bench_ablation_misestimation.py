@@ -33,7 +33,7 @@ def test_bench_ablation_misestimation(benchmark, print_section):
         rng = np.random.default_rng(77)
         rows = []
         for sigma in NOISE_LEVELS:
-            if sigma == 0.0:
+            if sigma <= 0.0:
                 noisy_universe = config.universe
             else:
                 factors = rng.lognormal(0.0, sigma, len(config.universe))

@@ -97,6 +97,6 @@ def test_bench_ablation_nonstationary(benchmark, print_section):
     # Shape: profiles average to the modelled load (sanity), accuracies
     # stay valid probabilities, and the stationary row is the reference.
     for row in rows:
-        assert row[1] == 1.0 or abs(row[1] - 1.0) < 1e-9
+        assert abs(row[1] - 1.0) < 1e-9
         assert 0.0 <= row[2] <= 1.0
         assert 0.0 <= row[3] <= 1.0

@@ -50,5 +50,6 @@ def test_bench_mode_agreement(benchmark, print_section):
             ),
         )
     )
-    assert truth_rate == 1.0
+    # Exact by construction: k/n with k == n.
+    assert truth_rate == 1.0  # repro: noqa[PY001]
     assert outcome_rate >= 0.9

@@ -55,7 +55,6 @@ def quantile(samples: Sequence[float], q: float) -> float:
     if not 0.0 <= q <= 1.0:
         raise ValueError("quantile must be in [0, 1]")
     ordered = sorted(samples)
-    if q == 0.0:
-        return ordered[0]
-    rank = max(1, int(-(-q * len(ordered) // 1)))  # ceil(q * n)
+    # ceil(q * n), clamped to rank >= 1 (which also covers q = 0).
+    rank = max(1, int(-(-q * len(ordered) // 1)))
     return ordered[rank - 1]

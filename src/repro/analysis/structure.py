@@ -13,7 +13,7 @@ grouped and explained.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Set
 
 from repro.flows.policy import Policy
 
@@ -51,9 +51,9 @@ class TargetStructure:
 def target_structure(policy: Policy, target_flow: int) -> TargetStructure:
     """Compute the sharing structure around one target flow."""
     covering = frozenset(policy.covering(target_flow))
-    siblings: set = set()
-    exclusive: set = set()
-    for rule_index in covering:
+    siblings: Set[int] = set()
+    exclusive: Set[int] = set()
+    for rule_index in sorted(covering):
         others = policy[rule_index].flows - {target_flow}
         if others:
             siblings |= others

@@ -11,6 +11,7 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     repro-sdn statecount
     repro-sdn headline [...]
     repro-sdn select [--probes M --method ... --n-jobs J]
+    repro-sdn check [paths] [--select RULES --format text|json]
 
 Every command prints the same plain-text tables the benchmark suite
 emits, so results are scriptable without pytest.
@@ -20,9 +21,13 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.experiments.params import ExperimentParams
+
+if TYPE_CHECKING:
+    from repro.experiments.fig6 import Fig6Result
+    from repro.experiments.fig7 import Fig7Result
 
 
 def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
@@ -54,7 +59,9 @@ def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _maybe_save(args: argparse.Namespace, result) -> None:
+def _maybe_save(
+    args: argparse.Namespace, result: Union["Fig6Result", "Fig7Result"]
+) -> None:
     path = getattr(args, "save", None)
     if path:
         from repro.experiments.persist import save_result
@@ -303,6 +310,34 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.lint import ALL_RULES, run_checks
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = run_checks(args.paths, select=select)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro-sdn check: {error}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps([f.to_json() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        checked = ", ".join(args.paths)
+        if findings:
+            print(f"\n{len(findings)} finding(s) in {checked}")
+        else:
+            print(f"clean: no findings in {checked}")
+    return 1 if findings else 0
+
+
 def _cmd_statecount(_: argparse.Namespace) -> int:
     from repro.experiments.report import format_table
     from repro.experiments.tables import statecount_report
@@ -429,6 +464,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="archive figures (JSON) and the report under DIR",
     )
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    check = sub.add_parser(
+        "check",
+        help="domain-aware static analysis over the probability kernels",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    check.add_argument(
+        "--select", type=str, default=None, metavar="RULES",
+        help="comma-separated rule IDs to run (default: all)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule IDs and summaries, then exit",
+    )
+    check.set_defaults(func=_cmd_check)
 
     return parser
 

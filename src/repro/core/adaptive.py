@@ -61,7 +61,7 @@ class AdaptiveSession:
         min_gain: float = 1e-9,
         allow_repeats: bool = False,
         n_jobs: int = 1,
-    ):
+    ) -> None:
         if max_probes < 1:
             raise ValueError("max_probes must be >= 1")
         if n_jobs < 1:
@@ -271,7 +271,7 @@ class AdaptiveModelAttacker:
         max_probes: int = 3,
         min_gain: float = 1e-9,
         n_jobs: int = 1,
-    ):
+    ) -> None:
         self.inference = inference
         self.candidates = candidates
         self.max_probes = max_probes

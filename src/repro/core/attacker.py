@@ -52,7 +52,7 @@ class NaiveAttacker(Attacker):
 
     name = "naive"
 
-    def __init__(self, target_flow: int):
+    def __init__(self, target_flow: int) -> None:
         self.target_flow = int(target_flow)
 
     def plan(self) -> Tuple[int, ...]:
@@ -97,7 +97,7 @@ class ModelAttacker(Attacker):
         decision: str = "query",
         selection_method: str = "exhaustive",
         n_jobs: int = 1,
-    ):
+    ) -> None:
         if decision not in ("query", "map"):
             raise ValueError(f"unknown decision rule: {decision!r}")
         self.inference = inference
@@ -150,7 +150,7 @@ class ConstrainedModelAttacker(ModelAttacker):
         decision: str = "query",
         selection_method: str = "exhaustive",
         n_jobs: int = 1,
-    ):
+    ) -> None:
         if candidates is None:
             candidates = range(inference.model.context.n_flows)
         allowed = [
@@ -184,14 +184,21 @@ class RandomAttacker(Attacker):
         prior_present: float,
         rng: Optional[np.random.Generator] = None,
         mode: str = "sample",
-    ):
+        seed: Optional[int] = None,
+    ) -> None:
         if not 0.0 <= prior_present <= 1.0:
             raise ValueError(f"prior out of range: {prior_present}")
         if mode not in ("sample", "map"):
             raise ValueError(f"unknown mode: {mode!r}")
         self.prior_present = float(prior_present)
         self.mode = mode
-        self._rng = rng or np.random.default_rng()
+        # Reproducible by default: an explicit generator wins, then an
+        # explicit seed, then a fixed seed -- never OS entropy.
+        self._rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng(0 if seed is None else seed)
+        )
 
     def plan(self) -> Tuple[int, ...]:
         return ()

@@ -37,8 +37,9 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 import numpy as np
+from scipy import sparse
 
-from repro.core.chain import per_flow_step_probabilities
+from repro.core.chain import per_flow_step_probabilities, validate_stochastic
 from repro.core.context import ModelContext
 from repro.flows.policy import Policy
 from repro.flows.universe import FlowUniverse
@@ -71,7 +72,7 @@ class BasicModel:
         universe: FlowUniverse,
         delta: float,
         cache_size: int,
-    ):
+    ) -> None:
         self.context = ModelContext(policy, universe, delta, cache_size)
         self._transition_cache: Dict[BasicState, List[Transition]] = {}
         p_flows, p_none = per_flow_step_probabilities(
@@ -322,7 +323,7 @@ class BasicModel:
         start: Optional[BasicState] = None,
         max_states: int = 200_000,
         exclude_flows: Iterable[int] = (),
-    ):
+    ) -> Tuple[List[BasicState], sparse.csr_matrix]:
         """Sparse transition matrix over the reachable state space.
 
         Only feasible for small policies/timeouts (the Section IV-A2
@@ -330,8 +331,6 @@ class BasicModel:
         ``max_states``.  Returns ``(states, csr_matrix)`` where row/
         column indices follow the returned state order.
         """
-        from scipy import sparse
-
         states = self.enumerate_reachable(start=start, max_states=max_states)
         index = {state: i for i, state in enumerate(states)}
         excluded = frozenset(int(f) for f in exclude_flows)
@@ -351,6 +350,7 @@ class BasicModel:
         matrix = sparse.coo_matrix(
             (probs, (rows, cols)), shape=(len(states), len(states))
         ).tocsr()
+        validate_stochastic(matrix, substochastic=bool(excluded))
         return states, matrix
 
     def stationary_rule_marginals(

@@ -39,7 +39,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.core.chain import per_flow_step_probabilities
+from repro.core.chain import per_flow_step_probabilities, validate_stochastic
 from repro.core.context import ModelContext
 from repro.core.masks import enumerate_subsets, indices_from_mask, popcount
 from repro.core.recency import (
@@ -83,7 +83,7 @@ class CompactModel:
         estimator: Optional[RecencyEstimator] = None,
         multi_expiry: bool = False,
         expire_on_arrival: bool = True,
-    ):
+    ) -> None:
         self.context = ModelContext(policy, universe, delta, cache_size)
         self.estimator = estimator or IndependentRecencyEstimator(self.context)
         if self.estimator.context is not self.context:
@@ -149,6 +149,9 @@ class CompactModel:
                 dtype=np.float64,
                 count=self.n_states,
             )
+            # Frozen: the cached vector is aliased to every caller
+            # (runtime complement of lint rule MUT001).
+            cached.setflags(write=False)
             self._coverage_cache[flow] = cached
         return cached
 
@@ -182,6 +185,7 @@ class CompactModel:
             cached = sparse.coo_matrix(
                 (probs, (rows, cols)), shape=(self.n_states, self.n_states)
             ).tocsr()
+            validate_stochastic(cached)
             self._probe_matrix_cache[flow] = cached
         return cached
 
@@ -366,12 +370,13 @@ class CompactModel:
         rows, cols, probs, tags = self._ensure_entries()
         excluded = set(exclude_flows)
         if excluded:
-            keep = ~np.isin(tags, list(excluded))
+            keep = ~np.isin(tags, sorted(excluded))
             rows, cols, probs = rows[keep], cols[keep], probs[keep]
         matrix = sparse.coo_matrix(
             (probs, (rows, cols)), shape=(self.n_states, self.n_states)
-        )
-        return matrix.tocsr()
+        ).tocsr()
+        validate_stochastic(matrix, substochastic=bool(excluded))
+        return matrix
 
     # ------------------------------------------------------------------
     # Distribution evolution
@@ -404,7 +409,7 @@ class CompactModel:
         marginals = np.zeros(self.context.n_rules)
         for index, state in enumerate(self.states):
             weight = float(distribution[index])
-            if weight == 0.0:
+            if weight <= 0.0:
                 continue
             for rule in indices_from_mask(state):
                 marginals[rule] += weight

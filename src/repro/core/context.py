@@ -30,7 +30,7 @@ class ModelContext:
         universe: FlowUniverse,
         delta: float,
         cache_size: int,
-    ):
+    ) -> None:
         if delta <= 0:
             raise ValueError("delta must be positive")
         if cache_size < 1:

@@ -35,7 +35,7 @@ class Leaf:
 class DecisionTree:
     """Outcome-vector classifier for a fixed probe sequence."""
 
-    def __init__(self, table: OutcomeTable):
+    def __init__(self, table: OutcomeTable) -> None:
         self.probes = table.probes
         self._leaves: Dict[Outcome, Leaf] = {}
         for outcome, p_q in table.outcome_probs.items():

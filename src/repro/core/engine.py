@@ -36,11 +36,14 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 from itertools import combinations
+from multiprocessing.context import BaseContext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.compact_model import CompactModel
 from repro.core.gain import binary_entropy
+from repro.core.inference import ReconInference
 
 #: Fixed scoring block size.  Keeping block shapes constant regardless
 #: of ``n_jobs`` (and of how many candidates a caller passes) makes the
@@ -139,7 +142,9 @@ def gains_from_tables(
 
 
 def _score_block_impl(
-    inference, prefix: Tuple[int, ...], flows: Tuple[int, ...]
+    inference: ReconInference,
+    prefix: Tuple[int, ...],
+    flows: Tuple[int, ...],
 ) -> np.ndarray:
     """Gains of ``prefix + (f,)`` for every ``f`` in one block.
 
@@ -176,17 +181,21 @@ def _score_block_impl(
 # ----------------------------------------------------------------------
 # Multiprocessing plumbing (fork-based; inference inherited, not pickled)
 # ----------------------------------------------------------------------
-_WORKER_INFERENCE = None
+#: One scoring work item: (shared probe prefix, block of final probes).
+WorkItem = Tuple[Tuple[int, ...], Tuple[int, ...]]
+
+_WORKER_INFERENCE: Optional[ReconInference] = None
 
 
-def _init_scoring_worker(inference) -> None:
+def _init_scoring_worker(inference: ReconInference) -> None:
     global _WORKER_INFERENCE
     _WORKER_INFERENCE = inference
 
 
-def _scoring_work(item):
+def _scoring_work(item: WorkItem) -> Tuple[np.ndarray, Dict[str, int]]:
     prefix, flows = item
     inference = _WORKER_INFERENCE
+    assert inference is not None, "worker used before initialisation"
     before = dict(inference.counters)
     gains = _score_block_impl(inference, prefix, flows)
     delta = {
@@ -196,7 +205,7 @@ def _scoring_work(item):
     return gains, delta
 
 
-def _fork_context():
+def _fork_context() -> Optional[BaseContext]:
     """The fork multiprocessing context, or ``None`` if unavailable."""
     try:
         if "fork" in multiprocessing.get_all_start_methods():
@@ -204,10 +213,6 @@ def _fork_context():
     except Exception:  # pragma: no cover - platform-specific
         pass
     return None
-
-
-#: One scoring work item: (shared probe prefix, block of final probes).
-WorkItem = Tuple[Tuple[int, ...], Tuple[int, ...]]
 
 
 # ----------------------------------------------------------------------
@@ -227,7 +232,7 @@ class ProbeScoringEngine:
     all gains in canonical candidate order.
     """
 
-    def __init__(self, inference, n_jobs: int = 1):
+    def __init__(self, inference: ReconInference, n_jobs: int = 1) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
         self.inference = inference
@@ -442,7 +447,9 @@ class ProbeScoringEngine:
 # ----------------------------------------------------------------------
 # Adaptive-session scoring (conditional gains given observed outcomes)
 # ----------------------------------------------------------------------
-def _weights_to_vector(model, weights: Dict[int, float]) -> np.ndarray:
+def _weights_to_vector(
+    model: CompactModel, weights: Dict[int, float]
+) -> np.ndarray:
     vector = np.zeros(model.n_states)
     index = model.state_index
     for state, weight in weights.items():
@@ -450,21 +457,36 @@ def _weights_to_vector(model, weights: Dict[int, float]) -> np.ndarray:
     return vector
 
 
-_ADAPTIVE_STATE = None
+#: Shared adaptive-worker state: (model, w_full, w_absent, mass, prior).
+_AdaptiveState = Tuple[CompactModel, np.ndarray, np.ndarray, float, float]
+
+_ADAPTIVE_STATE: Optional[_AdaptiveState] = None
 
 
-def _init_adaptive_worker(model, w_full, w_absent, mass, prior) -> None:
+def _init_adaptive_worker(
+    model: CompactModel,
+    w_full: np.ndarray,
+    w_absent: np.ndarray,
+    mass: float,
+    prior: float,
+) -> None:
     global _ADAPTIVE_STATE
     _ADAPTIVE_STATE = (model, w_full, w_absent, mass, prior)
 
 
-def _adaptive_work(flows):
+def _adaptive_work(flows: Tuple[int, ...]) -> np.ndarray:
+    assert _ADAPTIVE_STATE is not None, "worker used before initialisation"
     model, w_full, w_absent, mass, prior = _ADAPTIVE_STATE
     return _conditional_block(model, w_full, w_absent, mass, prior, flows)
 
 
 def _conditional_block(
-    model, w_full, w_absent, mass, prior, flows
+    model: CompactModel,
+    w_full: np.ndarray,
+    w_absent: np.ndarray,
+    mass: float,
+    prior: float,
+    flows: Sequence[int],
 ) -> np.ndarray:
     """Conditional gains of one candidate block (2-outcome tables)."""
     coverage = model.coverage_matrix(flows)  # (c, n_states)
@@ -476,7 +498,7 @@ def _conditional_block(
 
 
 def batched_conditional_gains(
-    model,
+    model: CompactModel,
     weights_full: Dict[int, float],
     weights_absent: Dict[int, float],
     flows: Sequence[int],

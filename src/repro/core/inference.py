@@ -88,7 +88,7 @@ class ReconInference:
         window_steps: int,
         initial: Optional[np.ndarray] = None,
         precomputed_full: Optional[np.ndarray] = None,
-    ):
+    ) -> None:
         if window_steps < 0:
             raise ValueError("window_steps must be non-negative")
         self.model = model
@@ -96,7 +96,10 @@ class ReconInference:
         self.window_steps = int(window_steps)
 
         start = model.initial_distribution() if initial is None else initial
-        self._start = np.asarray(start, dtype=np.float64)
+        # Private copy, frozen: the start distribution feeds every cache
+        # entry, so neither the caller's array nor ours may drift.
+        self._start = np.array(start, dtype=np.float64)
+        self._start.setflags(write=False)
         #: Work counters read by the probe-scoring engine's
         #: :class:`~repro.core.engine.ScoringStats`.
         self.counters: Dict[str, int] = {
@@ -115,8 +118,10 @@ class ReconInference:
         if precomputed_full is not None:
             # The full-chain distribution does not depend on the target;
             # callers fitting many targets on one model (e.g. leakage
-            # maps) compute it once and pass it in.
-            self.dist_full = np.asarray(precomputed_full, dtype=np.float64)
+            # maps) compute it once and pass it in.  Copied and frozen
+            # like every other cache entry.
+            self.dist_full = np.array(precomputed_full, dtype=np.float64)
+            self.dist_full.setflags(write=False)
             self._evolution_cache[()] = self.dist_full
         else:
             #: ``I_T``: distribution over cache states after ``T`` steps.
@@ -146,6 +151,10 @@ class ReconInference:
         matrix = self.model.transition_matrix(exclude_flows=key)
         self.counters["evolutions"] += 1
         dist = evolve(self._start, matrix, self.window_steps)
+        # Cache entries are aliased to every caller; freeze them so an
+        # accidental in-place write raises instead of corrupting all
+        # later scores (the runtime complement of lint rule MUT001).
+        dist.setflags(write=False)
         self._evolution_cache[key] = dist
         return dist
 
@@ -178,6 +187,7 @@ class ReconInference:
         else:
             parent = self.prefix_distribution(probes[:-1], excl_key)
             rows = self._extend_prefix(parent, probes[-1])
+        rows.setflags(write=False)
         self._prefix_cache[key] = rows
         return rows
 

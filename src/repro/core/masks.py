@@ -62,7 +62,7 @@ class RateTable:
     rate[lowest bit]``); beyond that, sums fall back to a per-call loop.
     """
 
-    def __init__(self, rates: Sequence[float]):
+    def __init__(self, rates: Sequence[float]) -> None:
         self._rates = tuple(float(rate) for rate in rates)
         self._n = len(self._rates)
         if self._n <= _MAX_TABLE_BITS:

@@ -66,7 +66,7 @@ class RecencyStats:
 class RecencyEstimator(ABC):
     """Interface: state bitmask -> :class:`RecencyStats`."""
 
-    def __init__(self, context: ModelContext):
+    def __init__(self, context: ModelContext) -> None:
         self.context = context
         self._cache: Dict[int, RecencyStats] = {}
 
@@ -264,7 +264,7 @@ class ExactRecencyEstimator(RecencyEstimator):
     state's enumeration would exceed ``max_assignments``.
     """
 
-    def __init__(self, context: ModelContext, max_assignments: int = 2_000_000):
+    def __init__(self, context: ModelContext, max_assignments: int = 2_000_000) -> None:
         super().__init__(context)
         self.max_assignments = max_assignments
 
@@ -361,7 +361,7 @@ class MonteCarloRecencyEstimator(RecencyEstimator):
         context: ModelContext,
         n_samples: int = 400,
         seed: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(context)
         if n_samples < 1:
             raise ValueError("n_samples must be >= 1")
@@ -440,7 +440,7 @@ class MonteCarloRecencyEstimator(RecencyEstimator):
 def make_estimator(
     name: str,
     context: ModelContext,
-    **kwargs,
+    **kwargs: object,
 ) -> RecencyEstimator:
     """Factory: ``"independent"``, ``"exact"``, or ``"montecarlo"``."""
     name = name.lower()

@@ -38,7 +38,7 @@ class DelayDefense(Defense):
         delay_mean: float = 3.6e-3,
         delay_std: float = 1.8e-3,
         quiet_reset: float = 1.0,
-    ):
+    ) -> None:
         if first_k < 1:
             raise ValueError("first_k must be >= 1")
         if delay_mean < 0 or delay_std < 0 or quiet_reset <= 0:

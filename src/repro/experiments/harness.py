@@ -21,10 +21,11 @@ from repro.core.attacker import (
     RandomAttacker,
 )
 from repro.core.compact_model import CompactModel
+from repro.core.engine import ScoringStats
 from repro.core.inference import ReconInference
 from repro.core.recency import make_estimator
 from repro.experiments.params import ExperimentParams
-from repro.experiments.trials import TrialResult, run_trial
+from repro.experiments.trials import DefenseFactory, TrialResult, run_trial
 from repro.flows.config import ConfigGenerator, NetworkConfiguration
 from repro.simulator.timing import LatencyModel
 
@@ -67,7 +68,7 @@ class ConfigHarness:
         params: ExperimentParams,
         rng: Optional[np.random.Generator] = None,
         latency: Optional[LatencyModel] = None,
-    ):
+    ) -> None:
         self.config = config
         self.params = params
         self.rng = rng if rng is not None else np.random.default_rng(params.seed)
@@ -107,7 +108,7 @@ class ConfigHarness:
         )
 
     @property
-    def scoring_stats(self):
+    def scoring_stats(self) -> Optional[ScoringStats]:
         """Engine instrumentation from the model attacker's selection."""
         return self.model_attacker.choice.stats
 
@@ -152,7 +153,7 @@ class ConfigHarness:
         n_trials: Optional[int] = None,
         attackers: Optional[Sequence[Attacker]] = None,
         keep_trials: bool = False,
-        defense_factory=None,
+        defense_factory: Optional[DefenseFactory] = None,
     ) -> ConfigResult:
         """Run the trial loop and aggregate accuracies."""
         n_trials = n_trials if n_trials is not None else self.params.n_trials

@@ -23,7 +23,15 @@ Two fidelity levels share the same trial semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -35,6 +43,13 @@ from repro.simulator.flowtable import FlowTable
 from repro.simulator.network import Network
 from repro.simulator.probing import Prober
 from repro.simulator.timing import LatencyModel
+
+if TYPE_CHECKING:
+    from repro.core.adaptive import AdaptiveModelAttacker
+    from repro.countermeasures.base import Defense
+
+#: Zero-argument factory producing a fresh defense per attacker replica.
+DefenseFactory = Callable[[], "Defense"]
 
 
 @dataclass(frozen=True)
@@ -64,7 +79,7 @@ def run_network_trial(
     attackers: Sequence[Attacker],
     seed: int,
     latency: Optional[LatencyModel] = None,
-    defense_factory=None,
+    defense_factory: Optional[DefenseFactory] = None,
 ) -> TrialResult:
     """One packet-level trial.
 
@@ -108,7 +123,7 @@ def run_network_trial(
 class _TableWorld:
     """Minimal reactive-switch semantics over a bare flow table."""
 
-    def __init__(self, config: NetworkConfiguration):
+    def __init__(self, config: NetworkConfiguration) -> None:
         self.config = config
         self.policy = RuleTable(config.concrete_rules)
         self.table = FlowTable(config.cache_size)
@@ -164,7 +179,7 @@ def run_table_trial(
 
 def run_adaptive_trial(
     config: NetworkConfiguration,
-    adaptive_attacker,
+    adaptive_attacker: "AdaptiveModelAttacker",
     seed: int,
     mode: str = "table",
     baselines: Sequence[Attacker] = (),
@@ -242,7 +257,7 @@ def run_trial(
     seed: int,
     mode: str = "network",
     latency: Optional[LatencyModel] = None,
-    defense_factory=None,
+    defense_factory: Optional[DefenseFactory] = None,
 ) -> TrialResult:
     """Dispatch on trial mode."""
     if mode == "network":

@@ -34,7 +34,7 @@ class PoissonArrivalProcess:
     yields no arrivals.
     """
 
-    def __init__(self, rate: float, rng: np.random.Generator):
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
         if rate < 0:
             raise ValueError(f"negative rate: {rate}")
         self.rate = rate
@@ -49,7 +49,7 @@ class PoissonArrivalProcess:
         """
         if horizon < 0:
             raise ValueError("horizon must be non-negative")
-        if self.rate == 0.0 or horizon == 0.0:
+        if self.rate <= 0.0 or horizon <= 0.0:
             return []
         count = int(self._rng.poisson(self.rate * horizon))
         times = self._rng.uniform(start, start + horizon, size=count)
@@ -98,10 +98,11 @@ class PiecewiseRateProfile:
     breakpoint the final factor holds.
     """
 
-    def __init__(self, breakpoints: Sequence[float], factors: Sequence[float]):
+    def __init__(self, breakpoints: Sequence[float], factors: Sequence[float]) -> None:
         if len(breakpoints) != len(factors):
             raise ValueError("breakpoints and factors must align")
-        if not breakpoints or breakpoints[0] != 0.0:
+        # Exact sentinel: a profile's first breakpoint is 0.0 by contract.
+        if not breakpoints or breakpoints[0] != 0.0:  # repro: noqa[PY001]
             raise ValueError("profile must start at time 0.0")
         if list(breakpoints) != sorted(breakpoints):
             raise ValueError("breakpoints must be increasing")
@@ -175,7 +176,7 @@ def sample_schedule_with_profile(
     """
     arrivals: List[Arrival] = []
     for start, end, factor in profile.segments(horizon):
-        if factor == 0.0 or end <= start:
+        if factor <= 0.0 or end <= start:
             continue
         for index, rate in enumerate(universe.rates):
             process = PoissonArrivalProcess(rate * factor, rng)

@@ -207,7 +207,7 @@ class NetworkConfiguration:
 class ConfigGenerator:
     """Samples :class:`NetworkConfiguration` objects per Section VI-A."""
 
-    def __init__(self, params: ConfigParams = ConfigParams(), seed: Optional[int] = None):
+    def __init__(self, params: ConfigParams = ConfigParams(), seed: Optional[int] = None) -> None:
         self.params = params
         self._rng = np.random.default_rng(seed)
         self._all_rules = enumerate_mask_rules(

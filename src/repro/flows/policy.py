@@ -58,7 +58,7 @@ class Policy:
     would silently distort state-space sizes).
     """
 
-    def __init__(self, rules: Sequence[ModelRule], validate: bool = True):
+    def __init__(self, rules: Sequence[ModelRule], validate: bool = True) -> None:
         self._rules: Tuple[ModelRule, ...] = tuple(rules)
         if validate:
             self._validate()
@@ -176,7 +176,9 @@ class Policy:
                     flows=flow_indices,
                     timeout_steps=steps,
                     priority=rule.priority,
-                    hard=rule.idle_timeout == 0.0 and rule.hard_timeout > 0.0,
+                    # 0.0 is the exact "timeout disabled" sentinel.
+                    hard=rule.idle_timeout == 0.0  # repro: noqa[PY001]
+                    and rule.hard_timeout > 0.0,
                 )
             )
         return cls(model_rules)

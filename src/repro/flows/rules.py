@@ -153,7 +153,8 @@ class Rule:
 
     def is_permanent(self) -> bool:
         """True for rules with no timeout (never expire, never evicted)."""
-        return self.idle_timeout == 0.0 and self.hard_timeout == 0.0
+        # 0.0 is the exact "timeout disabled" sentinel, never computed.
+        return self.idle_timeout == 0.0 and self.hard_timeout == 0.0  # repro: noqa[PY001]
 
     def describe(self) -> str:
         """Human-readable rendering used in logs and reports."""
@@ -178,7 +179,7 @@ class RuleTable:
     total order on every flow's covering set).
     """
 
-    def __init__(self, rules: Iterable[Rule], validate: bool = True):
+    def __init__(self, rules: Iterable[Rule], validate: bool = True) -> None:
         self._rules: Tuple[Rule, ...] = tuple(
             sorted(rules, key=lambda r: (-r.priority, r.name))
         )

@@ -1,0 +1,39 @@
+"""Domain-aware static analysis for the reproduction (``repro-sdn check``).
+
+The probability kernels (Eqns. 1--7 of the paper and the Section V
+probe-scoring engine) rest on invariants that unit tests cannot fully
+cover: cached distribution arrays must never be mutated by callers,
+every transition matrix must stay (sub)stochastic, and all randomness
+must thread from explicit seeds so ``n_jobs`` runs stay bitwise
+identical.  This package encodes those invariants as AST-level lint
+rules with stable IDs:
+
+========  ==========================================================
+RNG001    unseeded ``default_rng()`` / legacy ``np.random.*`` globals
+MUT001    in-place mutation of cached model/inference arrays
+STO001    transition-matrix construction without ``validate_stochastic``
+DET001    iteration over unordered sets feeding downstream computation
+PY001     mutable default arguments and float ``==`` comparisons
+========  ==========================================================
+
+Findings carry precise ``path:line:col`` locations and can be
+suppressed per line with ``# repro: noqa[RULE]``.  See
+``docs/STATIC_ANALYSIS.md`` for the rationale behind each rule.
+"""
+
+from repro.lint.findings import Finding
+from repro.lint.base import LintRule, ModuleSource
+from repro.lint.rules import ALL_RULES, rule_by_id
+from repro.lint.runner import check_file, check_source, iter_python_files, run_checks
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintRule",
+    "ModuleSource",
+    "check_file",
+    "check_source",
+    "iter_python_files",
+    "rule_by_id",
+    "run_checks",
+]

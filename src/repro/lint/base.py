@@ -1,0 +1,96 @@
+"""Rule interface and shared AST helpers."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, FrozenSet, Iterator, List, Optional, Union
+
+#: Both flavours of function definition, handled uniformly by rules.
+AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+from repro.lint.findings import Finding
+from repro.lint.noqa import parse_noqa
+
+
+@dataclass
+class ModuleSource:
+    """One parsed module handed to every rule.
+
+    ``tree`` is ``None`` when the file failed to parse; the runner then
+    emits a single ``SYN001`` finding and skips the rules.
+    """
+
+    path: str
+    source: str
+    tree: Optional[ast.Module]
+    suppressions: Dict[int, FrozenSet[str]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "ModuleSource":
+        try:
+            tree: Optional[ast.Module] = ast.parse(source, filename=path)
+        except SyntaxError:
+            tree = None
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            suppressions=parse_noqa(source),
+        )
+
+
+class LintRule:
+    """Base class: one stable rule ID plus an AST check.
+
+    Subclasses set :attr:`rule_id` / :attr:`summary` and implement
+    :meth:`check`, yielding :class:`~repro.lint.findings.Finding`
+    records (noqa filtering happens in the runner, so rules stay pure).
+    """
+
+    rule_id: ClassVar[str] = "XXX000"
+    summary: ClassVar[str] = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, module: ModuleSource, node: ast.AST, message: str
+    ) -> Finding:
+        """A finding of this rule anchored at ``node``."""
+        return Finding(
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            message=message,
+        )
+
+
+def call_endpoint(func: ast.expr) -> Optional[str]:
+    """The terminal name of a call target: ``a.b.c(...)`` -> ``"c"``."""
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` rendered as a string, or ``None`` for non-name chains."""
+    parts: List[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+def iter_function_defs(tree: ast.Module) -> Iterator[AnyFunctionDef]:
+    """Every (sync or async) function definition in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

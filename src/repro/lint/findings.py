@@ -1,0 +1,36 @@
+"""The finding record emitted by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a precise source location.
+
+    The field order doubles as the sort order, so a sorted finding list
+    reads top-to-bottom through each file.  ``line`` and ``col`` are
+    1-based and 0-based respectively, matching compiler convention.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` (the CLI text format)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serialisable form (the CLI ``--format json`` output)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -1,0 +1,68 @@
+"""Per-line ``# repro: noqa[RULE]`` suppression parsing.
+
+Suppression is comment-based and line-scoped, mirroring flake8's
+``# noqa`` but namespaced so generic linters never eat (or emit) it:
+
+* ``# repro: noqa`` suppresses every rule on its line;
+* ``# repro: noqa[RNG001]`` suppresses one rule;
+* ``# repro: noqa[RNG001,PY001]`` suppresses several.
+
+Comments are recovered with :mod:`tokenize` rather than regex-over-text
+so string literals containing the magic phrase never suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet
+
+#: Sentinel rule set meaning "suppress everything on this line".
+ALL_RULES_SENTINEL: FrozenSet[str] = frozenset(["*"])
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s]*)\])?",
+)
+
+
+def parse_noqa(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> rule IDs suppressed on that line.
+
+    A blanket ``# repro: noqa`` maps to :data:`ALL_RULES_SENTINEL`.
+    Unreadable files (tokenisation errors) yield no suppressions; the
+    parse error will surface as a finding instead.
+    """
+    suppressed: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressed
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        rules = match.group("rules")
+        line = token.start[0]
+        if rules is None:
+            suppressed[line] = ALL_RULES_SENTINEL
+            continue
+        ids = frozenset(
+            part.strip().upper() for part in rules.split(",") if part.strip()
+        )
+        # ``# repro: noqa[]`` names no rules; treat it as a blanket
+        # suppression rather than silently suppressing nothing.
+        suppressed[line] = ids or ALL_RULES_SENTINEL
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is suppressed on ``line``."""
+    rules = suppressions.get(line)
+    if rules is None:
+        return False
+    return rules is ALL_RULES_SENTINEL or "*" in rules or rule.upper() in rules

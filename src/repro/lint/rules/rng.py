@@ -1,0 +1,191 @@
+"""RNG001 -- all randomness must thread from explicit seeds.
+
+The differential suites of PR 1 assert that probe selection is bitwise
+identical across ``n_jobs`` settings, and every experiment is keyed by
+``ExperimentParams.seed``.  Both guarantees die the moment any code
+path draws from OS entropy: an unseeded ``np.random.default_rng()`` or
+the legacy module-level global (``np.random.rand`` and friends, whose
+hidden state is shared across the whole process and every fork).
+
+The rule flags:
+
+* ``np.random.default_rng()`` called with **no seed argument** (any
+  argument -- a seed, a ``SeedSequence``, another generator -- is
+  accepted; threading ``None`` through a parameter is invisible to a
+  static pass and remains the caller's responsibility);
+* any use of the legacy module-level API (``np.random.seed``,
+  ``np.random.rand``, ``np.random.RandomState``, ...), seeded or not.
+
+Seeds must originate from ``ExperimentParams``/CLI ``--seed`` flags and
+thread down as ``np.random.Generator`` instances.  Intentional entropy
+(none exists in this repo today) needs ``# repro: noqa[RNG001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, Set
+
+from repro.lint.base import LintRule, ModuleSource
+from repro.lint.findings import Finding
+
+#: Legacy module-level ``numpy.random`` API backed by the hidden global
+#: ``RandomState`` (plus ``RandomState`` itself and its state plumbing).
+LEGACY_GLOBAL_API: FrozenSet[str] = frozenset(
+    {
+        "RandomState",
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "gamma",
+        "geometric",
+        "get_state",
+        "gumbel",
+        "hypergeometric",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "multinomial",
+        "multivariate_normal",
+        "normal",
+        "pareto",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_integers",
+        "random_sample",
+        "ranf",
+        "rayleigh",
+        "sample",
+        "seed",
+        "set_state",
+        "shuffle",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+
+class _ImportAliases(ast.NodeVisitor):
+    """Track how ``numpy``, ``numpy.random`` and ``default_rng`` are named."""
+
+    def __init__(self) -> None:
+        self.numpy: Set[str] = set()
+        self.numpy_random: Set[str] = set()
+        self.default_rng: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "numpy":
+                self.numpy.add(bound)
+            elif alias.name == "numpy.random":
+                if alias.asname is not None:
+                    self.numpy_random.add(alias.asname)
+                else:
+                    self.numpy.add(bound)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    self.numpy_random.add(alias.asname or alias.name)
+        elif node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name == "default_rng":
+                    self.default_rng.add(alias.asname or alias.name)
+
+
+class UnseededRandomnessRule(LintRule):
+    """RNG001: unseeded generators and the legacy global RNG."""
+
+    rule_id: ClassVar[str] = "RNG001"
+    summary: ClassVar[str] = (
+        "randomness must thread from explicit seeds "
+        "(ExperimentParams / CLI --seed)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        aliases = _ImportAliases()
+        aliases.visit(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                finding = self._check_call(module, node, aliases)
+                if finding is not None:
+                    yield finding
+            if isinstance(node, ast.Attribute):
+                finding = self._check_attribute(module, node, aliases)
+                if finding is not None:
+                    yield finding
+
+    # ------------------------------------------------------------------
+    def _is_numpy_random(
+        self, node: ast.expr, aliases: _ImportAliases
+    ) -> bool:
+        """Whether an expression denotes the ``numpy.random`` module."""
+        if isinstance(node, ast.Name):
+            return node.id in aliases.numpy_random
+        if isinstance(node, ast.Attribute) and node.attr == "random":
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id in aliases.numpy
+            )
+        return False
+
+    def _is_default_rng(
+        self, func: ast.expr, aliases: _ImportAliases
+    ) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in aliases.default_rng
+        if isinstance(func, ast.Attribute) and func.attr == "default_rng":
+            return self._is_numpy_random(func.value, aliases)
+        return False
+
+    def _check_call(
+        self, module: ModuleSource, node: ast.Call, aliases: _ImportAliases
+    ) -> Finding | None:
+        if not self._is_default_rng(node.func, aliases):
+            return None
+        if node.args or node.keywords:
+            return None
+        return self.finding(
+            module,
+            node,
+            "unseeded default_rng(); thread a seed or Generator from "
+            "ExperimentParams / the CLI --seed flag",
+        )
+
+    def _check_attribute(
+        self,
+        module: ModuleSource,
+        node: ast.Attribute,
+        aliases: _ImportAliases,
+    ) -> Finding | None:
+        if node.attr not in LEGACY_GLOBAL_API:
+            return None
+        if not self._is_numpy_random(node.value, aliases):
+            return None
+        return self.finding(
+            module,
+            node,
+            f"legacy global np.random.{node.attr}; use a seeded "
+            "np.random.Generator threaded from the caller",
+        )

@@ -1,0 +1,99 @@
+"""File discovery, rule orchestration, and noqa filtering."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.base import LintRule, ModuleSource
+from repro.lint.findings import Finding
+from repro.lint.noqa import is_suppressed
+from repro.lint.rules import ALL_RULES
+
+#: Directory names never descended into.
+SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+#: Pseudo-rule for unparsable files (cannot be noqa'd away).
+SYNTAX_RULE = "SYN001"
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """All ``.py`` files under ``paths``, depth-first, sorted.
+
+    Plain files are yielded as given; directories are walked
+    recursively.  Missing paths raise ``FileNotFoundError`` so typos
+    fail loudly instead of silently checking nothing.
+    """
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            yield path
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for root, dirs, files in os.walk(path):
+            dirs[:] = sorted(d for d in dirs if d not in SKIPPED_DIRS)
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield Path(root) / name
+
+
+def _select_rules(select: Optional[Iterable[str]]) -> List[LintRule]:
+    if select is None:
+        return list(ALL_RULES)
+    wanted = {rule_id.strip().upper() for rule_id in select if rule_id.strip()}
+    unknown = wanted - {rule.rule_id for rule in ALL_RULES}
+    if unknown:
+        known = ", ".join(rule.rule_id for rule in ALL_RULES)
+        raise ValueError(
+            f"unknown rule ID(s): {', '.join(sorted(unknown))} "
+            f"(known: {known})"
+        )
+    return [rule for rule in ALL_RULES if rule.rule_id in wanted]
+
+
+def check_source(
+    path: str,
+    source: str,
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over one in-memory module."""
+    module = ModuleSource.from_source(path, source)
+    if module.tree is None:
+        return [
+            Finding(
+                path=path,
+                line=1,
+                col=0,
+                rule=SYNTAX_RULE,
+                message="file does not parse; fix the syntax error first",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in _select_rules(select):
+        for finding in rule.check(module):
+            if is_suppressed(module.suppressions, finding.line, finding.rule):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def check_file(
+    path: Path, select: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Run the (selected) rules over one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return check_source(str(path), source, select=select)
+
+
+def run_checks(
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Check every Python file under ``paths``; findings sorted."""
+    selected = [rule.rule_id for rule in _select_rules(select)]
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, select=selected))
+    return sorted(findings)

@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class ReactiveController:
     """Reactive rule installation from a fixed policy."""
 
-    def __init__(self, network: "Network", policy: RuleTable):
+    def __init__(self, network: "Network", policy: RuleTable) -> None:
         self.network = network
         self.policy = policy
         self.stats = {"packet_ins": 0, "installs": 0, "forward_only": 0}

@@ -28,7 +28,7 @@ class _ScheduledEvent:
 class EventHandle:
     """Handle returned by :meth:`Simulator.schedule`; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent):
+    def __init__(self, event: _ScheduledEvent) -> None:
         self._event = event
 
     def cancel(self) -> None:
@@ -49,7 +49,7 @@ class EventHandle:
 class Simulator:
     """A deterministic discrete-event simulator clock."""
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._queue: List[_ScheduledEvent] = []
         self._seq = 0

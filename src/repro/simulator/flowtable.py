@@ -66,7 +66,7 @@ class TableEntry:
 class FlowTable:
     """Capacity-limited flow table with OVS eviction semantics."""
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity

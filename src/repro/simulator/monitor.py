@@ -43,9 +43,9 @@ class RuleLifetimes:
         """Update intervals from two consecutive snapshots."""
         appeared = set(current.rules) - set(previous.rules)
         vanished = set(previous.rules) - set(current.rules)
-        for name in appeared:
+        for name in sorted(appeared):
             self.intervals.setdefault(name, []).append((current.time, None))
-        for name in vanished:
+        for name in sorted(vanished):
             spans = self.intervals.setdefault(
                 name, [(previous.time, None)]
             )
@@ -69,7 +69,7 @@ class NetworkMonitor:
     correctly with traffic.
     """
 
-    def __init__(self, network: Network, sample_interval: float = 0.05):
+    def __init__(self, network: Network, sample_interval: float = 0.05) -> None:
         if sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
         self.network = network

@@ -27,7 +27,7 @@ reactive rules still compete for exactly ``cache_size``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -48,6 +48,15 @@ from repro.simulator.messages import ECHO_REPLY, ECHO_REQUEST, Packet
 from repro.simulator.switch import Switch
 from repro.simulator.timing import LatencyModel
 from repro.simulator.topology import stanford_backbone, validate_topology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.countermeasures.base import Defense
+    from repro.flows.arrival import Arrival
+
+#: Default RNG seed when neither ``rng`` nor ``seed`` is given, so bare
+#: ``Network(...)`` constructions are reproducible run to run.  Real
+#: experiments thread ``ExperimentParams.seed`` through ``rng``.
+DEFAULT_SEED = 0
 
 #: Priority of per-destination routing rules (below reactive rules).
 ROUTE_PRIORITY = 50
@@ -109,14 +118,21 @@ class Network:
         topology: Optional[nx.Graph] = None,
         rng: Optional[np.random.Generator] = None,
         config: Optional[NetworkConfig] = None,
-        defense=None,
-    ):
+        defense: Optional["Defense"] = None,
+        seed: Optional[int] = None,
+    ) -> None:
         self.config = config or NetworkConfig(cache_size=cache_size)
         if config is not None and config.cache_size != cache_size:
             raise ValueError("cache_size disagrees with config.cache_size")
         self.sim = Simulator()
         self.latency = latency or LatencyModel.calibrated()
-        self.rng = rng if rng is not None else np.random.default_rng()
+        # Reproducible by default: an explicit generator wins, then an
+        # explicit seed, then DEFAULT_SEED -- never OS entropy.
+        self.rng = (
+            rng
+            if rng is not None
+            else np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+        )
         self.topology = topology if topology is not None else stanford_backbone()
         validate_topology(self.topology)
         self.universe = universe
@@ -330,7 +346,7 @@ class Network:
 
         self.sim.schedule_at(time, send)
 
-    def schedule_arrivals(self, arrivals) -> None:
+    def schedule_arrivals(self, arrivals: Iterable["Arrival"]) -> None:
         """Schedule a whole :func:`repro.flows.arrival` schedule."""
         for arrival in arrivals:
             flow = self.universe.flows[arrival.flow_index]

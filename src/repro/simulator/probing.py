@@ -60,7 +60,7 @@ class Prober:
         threshold: float = DEFAULT_THRESHOLD_SECONDS,
         timeout: float = 0.25,
         gap: float = 0.0005,
-    ):
+    ) -> None:
         if threshold <= 0 or timeout <= 0 or gap < 0:
             raise ValueError("threshold/timeout must be positive, gap >= 0")
         self.network = network

@@ -28,6 +28,7 @@ from repro.flows.rules import (
     ACTION_CONTROLLER,
     ACTION_FLOOD,
     ACTION_FORWARD,
+    Rule,
 )
 from repro.simulator.flowtable import FlowTable
 from repro.simulator.messages import FlowMod, Packet, PacketIn, PacketOut
@@ -45,7 +46,7 @@ class Switch:
         network: "Network",
         capacity: int,
         reactive: bool,
-    ):
+    ) -> None:
         self.name = name
         self.network = network
         self.table = FlowTable(capacity)
@@ -126,7 +127,7 @@ class Switch:
     # ------------------------------------------------------------------
     # Setup helpers
     # ------------------------------------------------------------------
-    def preinstall(self, rule, out_port: int) -> None:
+    def preinstall(self, rule: Rule, out_port: int) -> None:
         """Install a permanent helper rule at time zero."""
         if not rule.is_permanent():
             raise ValueError(

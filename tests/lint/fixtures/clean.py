@@ -1,0 +1,33 @@
+"""Clean fixture: idiomatic code every rule must accept unchanged.
+
+Never imported -- parsed by the lint tests.  Zero findings expected.
+"""
+
+import numpy as np
+from scipy import sparse
+
+from repro.core.chain import validate_stochastic
+
+DEFAULT_SEED = 0
+
+
+def make_rng(seed=None):
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)
+
+
+def transition_matrix(entries, n, excluded=()):
+    rows, cols, probs = entries
+    matrix = sparse.coo_matrix((probs, (rows, cols)), shape=(n, n)).tocsr()
+    validate_stochastic(matrix, substochastic=bool(excluded))
+    return matrix
+
+
+def score_candidates(inference, candidates):
+    weights = inference.evolution(()).copy()
+    weights /= max(weights.sum(), 1e-300)
+    ordered = sorted(set(candidates))
+    return {flow: float(weights[flow]) for flow in ordered}
+
+
+def near(x, y, tol=1e-9):
+    return abs(x - y) < tol

@@ -1,0 +1,43 @@
+"""DET001 fixture: unordered set iteration feeding ordered consumers.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+
+def for_loop_over_set_literal(scores):
+    total = 0.0
+    for flow in {3, 1, 2}:  # expect[DET001]
+        total += scores[flow]
+    return total
+
+
+def list_of_set(flows):
+    return list(set(flows))  # expect[DET001]
+
+
+def comprehension_over_tainted_name(flows):
+    candidates = set(flows)
+    return [flow * 2 for flow in candidates]  # expect[DET001]
+
+
+def tuple_of_set_algebra(first, second):
+    return tuple(set(first) - set(second))  # expect[DET001]
+
+
+def sum_over_set_method(first, second):
+    return sum(set(first).union(second))  # expect[DET001]
+
+
+def ordered_consumption_is_fine(flows, first, second):
+    ordered = sorted(set(flows))
+    membership = 3 in set(flows)
+    count = len(set(first) | set(second))
+    biggest = max(set(flows))
+    return ordered, membership, count, biggest
+
+
+def rebinding_to_list_clears_taint(flows):
+    candidates = set(flows)
+    candidates = sorted(candidates)
+    return [flow for flow in candidates]

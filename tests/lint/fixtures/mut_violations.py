@@ -1,0 +1,53 @@
+"""MUT001 fixture: in-place mutation of cached arrays.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+
+def direct_subscript_write(inference):
+    inference.prefix_distribution((1,))[0] = 0.0  # expect[MUT001]
+
+
+def tainted_augmented_assign(inference):
+    weights = inference.evolution(())
+    weights *= 2.0  # expect[MUT001]
+
+
+def tainted_subscript_write(inference):
+    rows = inference.prefix_distribution((1, 2))
+    rows[0, 0] = 1.0  # expect[MUT001]
+
+
+def attribute_subscript_write(inference):
+    inference.dist_full[0] = 1.0  # expect[MUT001]
+
+
+def inplace_method(model):
+    coverage = model.coverage_vector(3)
+    coverage.sort()  # expect[MUT001]
+
+
+def reenable_writes(inference):
+    inference.dist_absent.setflags(write=True)  # expect[MUT001]
+
+
+def copy_launders_taint(inference):
+    weights = inference.evolution(()).copy()
+    weights[0] = 1.0
+    weights *= 0.5
+    return weights
+
+
+def rebinding_clears_taint(inference):
+    rows = inference.prefix_distribution(())
+    rows = rows.copy()
+    rows[0] = 0.0
+    return rows
+
+
+def reading_is_fine(inference):
+    total = inference.dist_full.sum()
+    frozen = inference.evolution(())
+    frozen2 = frozen
+    return total + frozen2[0]

@@ -1,0 +1,27 @@
+"""Suppression fixture: ``# repro: noqa[...]`` scoping.
+
+Never imported -- parsed by the lint tests.  Every violation here is
+suppressed except the one whose noqa names the *wrong* rule.
+"""
+
+import numpy as np
+
+
+def suppressed_specific():
+    return np.random.default_rng()  # repro: noqa[RNG001]
+
+
+def suppressed_blanket():
+    return np.random.default_rng()  # repro: noqa
+
+
+def suppressed_multi_rule(values=[]):  # repro: noqa[PY001, RNG001]
+    return values
+
+
+def suppressed_float_sentinel(timeout):
+    return timeout == 0.0  # repro: noqa[PY001]
+
+
+def wrong_rule_does_not_suppress(x):
+    return x == 2.0  # repro: noqa[RNG001] expect[PY001]

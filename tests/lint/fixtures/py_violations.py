@@ -1,0 +1,39 @@
+"""PY001 fixture: mutable defaults and float equality.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+
+def mutable_list_default(values=[]):  # expect[PY001]
+    return values
+
+
+def mutable_dict_call_default(cache=dict()):  # expect[PY001]
+    return cache
+
+
+def mutable_kwonly_default(*, seen=set()):  # expect[PY001]
+    return seen
+
+
+def float_equality(x):
+    return x == 1.0  # expect[PY001]
+
+
+def float_inequality(x):
+    if 0.5 != x:  # expect[PY001]
+        return True
+    return False
+
+
+def negative_float_literal(x):
+    return x == -2.5  # expect[PY001]
+
+
+def hygiene_is_fine(x, values=None, count=0, name=""):
+    if values is None:
+        values = []
+    close = abs(x - 1.0) < 1e-9
+    integral = count == 0
+    return values, close, integral, name

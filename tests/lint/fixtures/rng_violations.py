@@ -1,0 +1,34 @@
+"""RNG001 fixture: unseeded generators and the legacy global RNG.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+import numpy as np
+from numpy.random import default_rng
+
+SEED = 1234
+
+
+def unseeded_attribute_call():
+    return np.random.default_rng()  # expect[RNG001]
+
+
+def unseeded_imported_name():
+    return default_rng()  # expect[RNG001]
+
+
+def legacy_seed_is_still_global():
+    np.random.seed(0)  # expect[RNG001]
+    return np.random.rand(3)  # expect[RNG001]
+
+
+def legacy_random_state():
+    return np.random.RandomState(7)  # expect[RNG001]
+
+
+def seeded_is_fine():
+    rng = np.random.default_rng(SEED)
+    gen = default_rng(np.random.SeedSequence(SEED))
+    child = default_rng(rng)
+    return rng, gen, child

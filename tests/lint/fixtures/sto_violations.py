@@ -1,0 +1,52 @@
+"""STO001 fixture: transition-matrix construction without validation.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+from scipy import sparse
+
+from repro.core.chain import validate_stochastic
+
+
+def transition_matrix(entries, n):  # expect[STO001]
+    rows, cols, probs = entries
+    return sparse.coo_matrix((probs, (rows, cols)), shape=(n, n)).tocsr()
+
+
+def _probe_matrix(entries, n):  # expect[STO001]
+    rows, cols, probs = entries
+    return sparse.coo_matrix((probs, (rows, cols)), shape=(n, n))
+
+
+def assemble_adjacency(entries, n):  # expect[STO001]
+    rows, cols, probs = entries
+    matrix = sparse.csr_matrix((probs, (rows, cols)), shape=(n, n))
+    return matrix
+
+
+def validated_transition_matrix(entries, n):
+    rows, cols, probs = entries
+    matrix = sparse.coo_matrix((probs, (rows, cols)), shape=(n, n)).tocsr()
+    validate_stochastic(matrix)
+    return matrix
+
+
+def validated_substochastic(entries, n, excluded):
+    rows, cols, probs = entries
+    matrix = sparse.coo_matrix((probs, (rows, cols)), shape=(n, n)).tocsr()
+    validate_stochastic(matrix, substochastic=bool(excluded))
+    return matrix
+
+
+def triplet_helper_is_not_a_site(states):
+    rows = [0] * len(states)
+    cols = list(range(len(states)))
+    probs = [1.0 / len(states)] * len(states)
+    return rows, cols, probs
+
+
+def test_bench_transition_matrix_build(entries):
+    # A benchmark/test *about* matrix construction is not itself a
+    # construction site (the anchored name regex must not match).
+    return len(entries)

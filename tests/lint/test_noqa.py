@@ -1,0 +1,82 @@
+"""``# repro: noqa`` parsing and line-scoped suppression."""
+
+from repro.lint import check_source
+from repro.lint.noqa import ALL_RULES_SENTINEL, is_suppressed, parse_noqa
+
+
+class TestParseNoqa:
+    def test_specific_rule(self):
+        supp = parse_noqa("x = 1  # repro: noqa[RNG001]\n")
+        assert supp == {1: frozenset({"RNG001"})}
+
+    def test_multiple_rules_whitespace_and_case(self):
+        supp = parse_noqa("x = 1  # repro: noqa[rng001, PY001 ]\n")
+        assert supp == {1: frozenset({"RNG001", "PY001"})}
+
+    def test_blanket(self):
+        supp = parse_noqa("x = 1  # repro: noqa\n")
+        assert supp == {1: ALL_RULES_SENTINEL}
+
+    def test_empty_brackets_are_blanket(self):
+        supp = parse_noqa("x = 1  # repro: noqa[]\n")
+        assert supp[1] == ALL_RULES_SENTINEL
+
+    def test_line_numbers(self):
+        source = "a = 1\nb = 2  # repro: noqa[PY001]\nc = 3\n"
+        assert list(parse_noqa(source)) == [2]
+
+    def test_string_literal_does_not_suppress(self):
+        # The phrase inside a string is data, not a comment.
+        source = 'msg = "# repro: noqa[RNG001]"\n'
+        assert parse_noqa(source) == {}
+
+    def test_plain_comment_does_not_suppress(self):
+        assert parse_noqa("x = 1  # totally normal comment\n") == {}
+
+    def test_unreadable_source_yields_nothing(self):
+        assert parse_noqa("def broken(:\n") == {}
+
+
+class TestIsSuppressed:
+    def test_matching_rule_and_line(self):
+        supp = {3: frozenset({"RNG001"})}
+        assert is_suppressed(supp, 3, "RNG001")
+        assert is_suppressed(supp, 3, "rng001")
+
+    def test_wrong_line_or_rule(self):
+        supp = {3: frozenset({"RNG001"})}
+        assert not is_suppressed(supp, 4, "RNG001")
+        assert not is_suppressed(supp, 3, "PY001")
+
+    def test_blanket_suppresses_everything(self):
+        supp = {7: ALL_RULES_SENTINEL}
+        assert is_suppressed(supp, 7, "RNG001")
+        assert is_suppressed(supp, 7, "DET001")
+
+
+class TestEndToEndSuppression:
+    def test_suppressed_finding_is_filtered(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def f():\n"
+            "    return np.random.default_rng()  # repro: noqa[RNG001]\n"
+        )
+        assert check_source("<test>", source) == []
+
+    def test_unsuppressed_sibling_still_fires(self):
+        source = (
+            "import numpy as np\n"
+            "\n"
+            "def f():\n"
+            "    a = np.random.default_rng()  # repro: noqa[RNG001]\n"
+            "    b = np.random.default_rng()\n"
+            "    return a, b\n"
+        )
+        findings = check_source("<test>", source)
+        assert [(f.rule, f.line) for f in findings] == [("RNG001", 5)]
+
+    def test_syntax_error_cannot_be_suppressed(self):
+        source = "def broken(:  # repro: noqa\n"
+        findings = check_source("<test>", source)
+        assert [f.rule for f in findings] == ["SYN001"]
