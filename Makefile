@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full demo examples check lint clean
+.PHONY: install test test-fast bench bench-full demo examples check lint stats clean
 
 install:
 	pip install -e .
@@ -42,6 +42,14 @@ check:
 
 lint: check
 	PYTHONPATH=src $(PYTHON) -m pytest --collect-only -q tests benchmarks > /dev/null
+
+# Observability smoke (docs/OBSERVABILITY.md): run a tiny instrumented
+# headline experiment, then summarise its span trace.
+stats:
+	PYTHONPATH=src $(PYTHON) -m repro.cli headline \
+		--configs 2 --trials 5 --seed 12 --mode table \
+		--trace /tmp/repro-trace.ndjson --metrics /tmp/repro-metrics.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli stats /tmp/repro-trace.ndjson
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,128 @@
+"""The null observability backend must be ~free on the scoring path.
+
+Every hot component resolves its instruments once at construction, so
+with the default :data:`repro.obs.NULL` backend the per-event cost is a
+single no-op method call (``NullCounter.inc``), and enabled-only work
+(the per-batch histogram, the worker-delta export) is gated on
+``Instrumentation.enabled``.  These benchmarks pin that discipline:
+
+* the measured no-op call cost, multiplied by the number of
+  instrumentation events a full exhaustive 2-probe selection emits,
+  must stay under 5% of the selection's wall time;
+* recording instrumentation must not change what the engine computes
+  (same probes, same gain, bitwise).
+
+The event count is taken from a *recording* run of the same selection
+(``engine.batches`` counts ``_block_items`` calls, each of which emits
+a fixed number of counter increments), so the bound tracks the code as
+it evolves rather than a hand-maintained constant.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.compact_model import CompactModel
+from repro.core.inference import ReconInference
+from repro.core.selection import best_probe_set
+from repro.flows.flowid import FlowId
+from repro.flows.policy import ModelRule, Policy
+from repro.flows.universe import FlowUniverse
+from repro.obs import Instrumentation, use_instrumentation
+from repro.obs.metrics import _NULL_COUNTER
+
+N_FLOWS = 10
+CACHE_SIZE = 4
+TARGET = 0
+WINDOW_STEPS = 40
+DELTA = 0.1
+
+RULE_SPECS = [
+    ({0, 1}, 12),
+    ({1, 2}, 9),
+    ({3, 4}, 15),
+    ({4, 5}, 10),
+    ({6, 7}, 8),
+    ({7, 8}, 14),
+    ({9}, 11),
+    ({0, 9}, 7),
+]
+
+RATES = [0.6, 1.1, 0.4, 0.9, 0.5, 1.3, 0.7, 0.3, 1.0, 0.8]
+
+#: Counter increments per ``_block_items`` call on the null path
+#: (``engine.sequences_scored`` + ``engine.batches``).
+_OBS_CALLS_PER_BATCH = 2
+
+
+@pytest.fixture(scope="module")
+def model():
+    flows = tuple(FlowId(src=i, dst=999) for i in range(N_FLOWS))
+    universe = FlowUniverse(flows, tuple(RATES))
+    rules = [
+        ModelRule(
+            index=rank,
+            name=f"r{rank}",
+            flows=frozenset(covered),
+            timeout_steps=timeout,
+            priority=100 - rank,
+        )
+        for rank, (covered, timeout) in enumerate(RULE_SPECS)
+    ]
+    return CompactModel(Policy(rules), universe, DELTA, CACHE_SIZE)
+
+
+def _fresh_inference(model):
+    return ReconInference(model, TARGET, WINDOW_STEPS)
+
+
+def _noop_call_cost(iterations=200_000):
+    """Best-of-3 per-call cost of the shared null counter's ``inc``."""
+    inc = _NULL_COUNTER.inc
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            inc()
+        best = min(best, time.perf_counter() - start)
+    return best / iterations
+
+
+def test_bench_selection_null_backend(benchmark, model):
+    """Headline scoring benchmark under the default null backend."""
+
+    def run():
+        return best_probe_set(_fresh_inference(model), 2)
+
+    choice = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(choice.probes) == 2
+
+
+def test_null_backend_overhead_under_5_percent(model):
+    """No-op instrumentation events cost <5% of a selection's wall time."""
+    # Recording run: counts the events and warms every cache-free path.
+    obs = Instrumentation()
+    with use_instrumentation(obs):
+        recorded = best_probe_set(_fresh_inference(model), 2)
+    n_batches = obs.metrics.counter("engine.batches").value
+    assert n_batches > 0
+    n_obs_calls = _OBS_CALLS_PER_BATCH * n_batches
+
+    # Timed run under the default null backend (best of 3).
+    null_best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        null_choice = best_probe_set(_fresh_inference(model), 2)
+        null_best = min(null_best, time.perf_counter() - start)
+
+    obs_cost = n_obs_calls * _noop_call_cost()
+    assert obs_cost < 0.05 * null_best, (
+        f"{n_obs_calls} null-backend events cost {obs_cost * 1e3:.3f}ms, "
+        f">5% of the {null_best * 1e3:.1f}ms selection"
+    )
+
+    # Instrumentation must be observation-only: identical selection.
+    assert null_choice.probes == recorded.probes
+    assert null_choice.gain == recorded.gain

@@ -52,7 +52,7 @@ def leakage_map(
         inference = ReconInference(
             model, target, window_steps, precomputed_full=dist_full
         )
-        leaks[int(target)] = best_single_probe(inference, candidates).gain
+        leaks[int(target)] = best_single_probe(inference, candidates=candidates).gain
     return leaks
 
 

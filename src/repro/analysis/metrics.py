@@ -92,7 +92,10 @@ def wilson_interval(
     margin = z * math.sqrt(
         (phat * (1 - phat) + z * z / (4 * trials)) / trials
     )
-    return ((centre - margin) / denom, (centre + margin) / denom)
+    # Clamp away float residue (e.g. successes=0 can yield -2e-17).
+    low = max(0.0, (centre - margin) / denom)
+    high = min(1.0, (centre + margin) / denom)
+    return (low, high)
 
 
 @dataclass

@@ -10,11 +10,20 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     repro-sdn timing [--samples N]
     repro-sdn statecount
     repro-sdn headline [...]
-    repro-sdn select [--probes M --method ... --n-jobs J]
+    repro-sdn select [--probes M --method ... --jobs J]
     repro-sdn check [paths] [--select RULES --format text|json]
+    repro-sdn stats trace.ndjson [--format text|json]
 
 Every command prints the same plain-text tables the benchmark suite
 emits, so results are scriptable without pytest.
+
+Shared flags are attached by :func:`add_common_args` so their names,
+defaults, and help text cannot drift between subparsers.  Every
+subcommand accepts ``--trace out.ndjson`` and ``--metrics out.json``:
+when either is given, :func:`main` installs a recording
+:class:`~repro.obs.Instrumentation` backend around the command and
+exports the span trace / metric registry afterwards.  ``repro-sdn
+stats`` summarises such a trace into a per-span table.
 """
 
 from __future__ import annotations
@@ -30,50 +39,111 @@ if TYPE_CHECKING:
     from repro.experiments.fig7 import Fig7Result
 
 
+# ----------------------------------------------------------------------
+# Shared flags (one definition; subparsers cannot drift)
+# ----------------------------------------------------------------------
+def add_common_args(
+    parser: argparse.ArgumentParser,
+    *,
+    seed: bool = True,
+    seed_fallback: Optional[int] = None,
+    experiment: bool = False,
+    jobs: bool = False,
+    out: bool = False,
+    mode: bool = False,
+    mode_default: str = "network",
+) -> None:
+    """Attach the flags shared across subcommands.
+
+    ``--seed`` always parses to ``None`` by default; the per-command
+    fallback (documented in the help text) is applied by
+    :func:`_resolved_seed`, so explicit seeds behave identically
+    everywhere.  ``experiment`` adds the ``--configs/--trials/--mode/
+    --out`` block of the figure pipelines; ``jobs`` adds ``--jobs``
+    (``--n-jobs`` is kept as a deprecated alias).  ``--trace`` and
+    ``--metrics`` are attached unconditionally: observability is
+    available on every subcommand.
+    """
+    if seed:
+        fallback = "fresh entropy" if seed_fallback is None else seed_fallback
+        parser.add_argument(
+            "--seed", type=int, default=None,
+            help=f"RNG seed (default: {fallback})",
+        )
+        parser.set_defaults(seed_fallback=seed_fallback)
+    if experiment:
+        parser.add_argument(
+            "--configs", type=int, default=12,
+            help="configurations to sample (paper: 100)",
+        )
+        parser.add_argument(
+            "--trials", type=int, default=30,
+            help="trials per configuration (paper: 100)",
+        )
+        mode = True
+        out = True
+    if mode:
+        parser.add_argument(
+            "--mode", choices=("network", "table"), default=mode_default,
+            help="trial fidelity: packet-level network or fast table replay",
+        )
+    if out:
+        parser.add_argument(
+            "--out", "--save", dest="out", type=str, default=None,
+            metavar="PATH",
+            help="archive the run as JSON (see repro.experiments.persist)",
+        )
+    if jobs:
+        parser.add_argument(
+            "--jobs", "--n-jobs", dest="jobs", type=int, default=1,
+            help="worker processes for probe scoring (1 = in-process)",
+        )
+    parser.add_argument(
+        "--trace", type=str, default=None, metavar="PATH",
+        help="write an NDJSON span trace of this run to PATH",
+    )
+    parser.add_argument(
+        "--metrics", type=str, default=None, metavar="PATH",
+        help="write run metrics (counters/gauges/histograms) to PATH as JSON",
+    )
+
+
+def _resolved_seed(args: argparse.Namespace) -> Optional[int]:
+    """``--seed`` if given, else the subcommand's documented fallback."""
+    if args.seed is not None:
+        return int(args.seed)
+    return getattr(args, "seed_fallback", None)
+
+
 def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
     return ExperimentParams(
         n_configs=args.configs,
         n_trials=args.trials,
-        seed=args.seed,
+        seed=_resolved_seed(args),
         trial_mode=args.mode,
-    )
-
-
-def _add_experiment_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--configs", type=int, default=12,
-        help="configurations to sample (paper: 100)",
-    )
-    parser.add_argument(
-        "--trials", type=int, default=30,
-        help="trials per configuration (paper: 100)",
-    )
-    parser.add_argument("--seed", type=int, default=None, help="RNG seed")
-    parser.add_argument(
-        "--mode", choices=("network", "table"), default="network",
-        help="trial fidelity: packet-level network or fast table replay",
-    )
-    parser.add_argument(
-        "--save", type=str, default=None, metavar="PATH",
-        help="also archive the run as JSON (see repro.experiments.persist)",
+        selection_n_jobs=getattr(args, "jobs", 1),
     )
 
 
 def _maybe_save(
-    args: argparse.Namespace, result: Union["Fig6Result", "Fig7Result"]
+    args: argparse.Namespace,
+    result: Union["Fig6Result", "Fig7Result"],
+    params: Optional[ExperimentParams] = None,
 ) -> None:
-    path = getattr(args, "save", None)
+    path = getattr(args, "out", None)
     if path:
         from repro.experiments.persist import save_result
 
-        saved = save_result(result, path)
+        saved = save_result(
+            result, path, params=params, seed=_resolved_seed(args)
+        )
         print(f"saved run to {saved}")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import quick_attack_demo
 
-    print(quick_attack_demo(seed=args.seed if args.seed is not None else 7))
+    print(quick_attack_demo(seed=_resolved_seed(args)))
     return 0
 
 
@@ -83,7 +153,7 @@ def _cmd_fig6(args: argparse.Namespace, which: str) -> int:
 
     params = _experiment_params(args)
     result = run_fig6(params)
-    _maybe_save(args, result)
+    _maybe_save(args, result, params)
     if which == "a":
         print(
             format_series(
@@ -118,7 +188,7 @@ def _cmd_fig7(args: argparse.Namespace, which: str) -> int:
 
     params = _experiment_params(args)
     result = run_fig7(params)
-    _maybe_save(args, result)
+    _maybe_save(args, result, params)
     if which == "a":
         table = result.accuracy_by_covering_count()
         rows = [
@@ -157,7 +227,10 @@ def _cmd_timing(args: argparse.Namespace) -> int:
     from repro.experiments.report import paper_vs_measured
     from repro.experiments.tables import timing_table
 
-    table = timing_table(n_samples=args.samples, seed=args.seed or 0)
+    seed = _resolved_seed(args)
+    table = timing_table(
+        n_samples=args.samples, seed=seed if seed is not None else 0
+    )
     hit, miss = table["hit"], table["miss"]
     print(
         paper_vs_measured(
@@ -192,7 +265,7 @@ def _cmd_leakage(args: argparse.Namespace) -> int:
         n_rules=args.rules,
         cache_size=args.cache,
     )
-    config = ConfigGenerator(params, seed=args.seed).sample()
+    config = ConfigGenerator(params, seed=_resolved_seed(args)).sample()
     kwargs = dict(
         universe=config.universe,
         delta=config.delta,
@@ -253,7 +326,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
         n_rules=args.rules,
         cache_size=args.cache,
     )
-    config = ConfigGenerator(params, seed=args.seed).sample()
+    config = ConfigGenerator(params, seed=_resolved_seed(args)).sample()
     model = CompactModel(
         config.policy,
         config.universe,
@@ -267,7 +340,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
         inference,
         args.probes,
         method=args.method,
-        n_jobs=args.n_jobs,
+        n_jobs=args.jobs,
     )
     print(config.describe())
     print()
@@ -300,7 +373,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
     report = reproduce_all(
         scale=args.scale,
-        seed=args.seed,
+        seed=_resolved_seed(args),
         trial_mode=args.mode,
     )
     print(report.render())
@@ -336,6 +409,30 @@ def _cmd_check(args: argparse.Namespace) -> int:
         else:
             print(f"clean: no findings in {checked}")
     return 1 if findings else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Summarise an NDJSON trace file into a per-span-name table."""
+    import json
+
+    from repro.obs.stats import format_table as format_span_table
+    from repro.obs.stats import summarize_spans
+    from repro.obs.trace import read_ndjson
+
+    try:
+        records = read_ndjson(args.trace_file)
+    except (OSError, ValueError) as error:
+        print(f"repro-sdn stats: {error}", file=sys.stderr)
+        return 2
+    rows = summarize_spans(records)
+    if args.limit is not None:
+        rows = rows[: max(args.limit, 0)]
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+    else:
+        print(format_span_table(rows))
+        print(f"\n{len(records)} span(s) in {args.trace_file}")
+    return 0
 
 
 def _cmd_statecount(_: argparse.Namespace) -> int:
@@ -383,7 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="one end-to-end attack walkthrough")
-    demo.add_argument("--seed", type=int, default=7)
+    add_common_args(demo, seed_fallback=7)
     demo.set_defaults(func=_cmd_demo)
 
     for fig, runner in (
@@ -393,23 +490,24 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig7b", lambda a: _cmd_fig7(a, "b")),
     ):
         p = sub.add_parser(fig, help=f"reproduce {fig}")
-        _add_experiment_args(p)
+        add_common_args(p, experiment=True, jobs=True)
         p.set_defaults(func=runner)
 
     headline = sub.add_parser(
         "headline", help="the paper's summary statistics (fig6 pipeline)"
     )
-    _add_experiment_args(headline)
+    add_common_args(headline, experiment=True, jobs=True)
     headline.set_defaults(func=lambda a: _cmd_fig6(a, "b"))
 
     timing = sub.add_parser("timing", help="Section VI-A latency table")
     timing.add_argument("--samples", type=int, default=300)
-    timing.add_argument("--seed", type=int, default=0)
+    add_common_args(timing, seed_fallback=0)
     timing.set_defaults(func=_cmd_timing)
 
     statecount = sub.add_parser(
         "statecount", help="Section IV state-space comparison"
     )
+    add_common_args(statecount, seed=False)
     statecount.set_defaults(func=_cmd_statecount)
 
     leakage = sub.add_parser(
@@ -421,7 +519,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     leakage.add_argument("--rules", type=int, default=8)
     leakage.add_argument("--cache", type=int, default=4)
-    leakage.add_argument("--seed", type=int, default=12)
+    add_common_args(leakage, seed_fallback=12)
     leakage.set_defaults(func=_cmd_leakage)
 
     select = sub.add_parser(
@@ -434,7 +532,6 @@ def build_parser() -> argparse.ArgumentParser:
     )
     select.add_argument("--rules", type=int, default=8)
     select.add_argument("--cache", type=int, default=4)
-    select.add_argument("--seed", type=int, default=12)
     select.add_argument(
         "--probes", type=int, default=2,
         help="probe-set size (Section V-B)",
@@ -442,10 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument(
         "--method", choices=("exhaustive", "greedy"), default="exhaustive"
     )
-    select.add_argument(
-        "--n-jobs", type=int, default=1,
-        help="processes for candidate scoring (1 = in-process)",
-    )
+    add_common_args(select, seed_fallback=12, jobs=True)
     select.set_defaults(func=_cmd_select)
 
     reproduce = sub.add_parser(
@@ -455,13 +549,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=0.1,
         help="fraction of the paper's 100 configs x 100 trials",
     )
-    reproduce.add_argument("--seed", type=int, default=2017)
-    reproduce.add_argument(
-        "--mode", choices=("network", "table"), default="table"
-    )
-    reproduce.add_argument(
-        "--out", type=str, default=None, metavar="DIR",
-        help="archive figures (JSON) and the report under DIR",
+    add_common_args(
+        reproduce, seed_fallback=2017, mode=True, mode_default="table",
+        out=True,
     )
     reproduce.set_defaults(func=_cmd_reproduce)
 
@@ -485,16 +575,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="print the rule IDs and summaries, then exit",
     )
+    add_common_args(check, seed=False)
     check.set_defaults(func=_cmd_check)
+
+    stats = sub.add_parser(
+        "stats", help="summarise an NDJSON trace (from --trace) per span"
+    )
+    stats.add_argument(
+        "trace_file", help="NDJSON trace file produced with --trace"
+    )
+    stats.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="summary output format",
+    )
+    stats.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="keep only the top N span names by total time",
+    )
+    add_common_args(stats, seed=False)
+    stats.set_defaults(func=_cmd_stats)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point (installed as ``repro-sdn``)."""
+    """CLI entry point (installed as ``repro-sdn``).
+
+    When ``--trace`` or ``--metrics`` is given, the whole command runs
+    under a recording :class:`~repro.obs.Instrumentation` backend inside
+    a ``cli.<command>`` root span, and the requested files are written
+    after the command returns (even on a non-zero exit status).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if not trace_path and not metrics_path:
+        return args.func(args)
+
+    from repro.obs import Instrumentation, use_instrumentation
+
+    obs = Instrumentation()
+    with use_instrumentation(obs):
+        with obs.span(f"cli.{args.command}"):
+            status = args.func(args)
+    if trace_path:
+        obs.write_trace(trace_path)
+        print(f"wrote trace to {trace_path}", file=sys.stderr)
+    if metrics_path:
+        obs.write_metrics(metrics_path)
+        print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -106,7 +106,7 @@ class ModelAttacker(Attacker):
         choice = best_probe_set(
             inference,
             self.n_probes,
-            candidates,
+            candidates=candidates,
             method=selection_method,
             n_jobs=n_jobs,
         )

@@ -44,6 +44,8 @@ import numpy as np
 from repro.core.compact_model import CompactModel
 from repro.core.gain import binary_entropy
 from repro.core.inference import ReconInference
+from repro.deprecation import keyword_only
+from repro.obs import Instrumentation, get_instrumentation
 
 #: Fixed scoring block size.  Keeping block shapes constant regardless
 #: of ``n_jobs`` (and of how many candidates a caller passes) makes the
@@ -53,6 +55,16 @@ SCORE_BLOCK = 32
 #: Strict-improvement margin of the selection scans; matches the serial
 #: reference loops in :mod:`repro.core.selection`.
 TIE_EPS = 1e-15
+
+#: Inference-counter key -> exported observability counter name.  The
+#: inference counters are totals (and fork workers accumulate their own
+#: copies), so the engine exports *deltas* from the parent process only.
+_OBS_COUNTER_NAMES = {
+    "evolutions": "engine.evolutions",
+    "prefix_cache_hits": "engine.cache.hits",
+    "prefix_cache_misses": "engine.cache.misses",
+    "prefix_extensions": "engine.cache.prefix_extensions",
+}
 
 
 # ----------------------------------------------------------------------
@@ -232,13 +244,34 @@ class ProbeScoringEngine:
     all gains in canonical candidate order.
     """
 
-    def __init__(self, inference: ReconInference, n_jobs: int = 1) -> None:
+    @keyword_only
+    def __init__(
+        self,
+        inference: ReconInference,
+        *,
+        n_jobs: int = 1,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
         self.inference = inference
         self.n_jobs = int(n_jobs)
         self.stats = ScoringStats(n_jobs=self.n_jobs)
         self._worker_deltas: Dict[str, int] = {}
+        # Observability backend: explicit argument wins, else whatever
+        # `use_instrumentation` installed (the null backend by default).
+        self._obs = (
+            instrumentation
+            if instrumentation is not None
+            else get_instrumentation()
+        )
+        self._obs.metrics.gauge("engine.pool.n_jobs").set(self.n_jobs)
+        self._obs_sequences = self._obs.metrics.counter(
+            "engine.sequences_scored"
+        )
+        self._obs_batches = self._obs.metrics.counter("engine.batches")
+        #: Last exported value per inference counter (for delta export).
+        self._obs_base: Dict[str, int] = {}
 
     # -- scoring ------------------------------------------------------
     def score_tails(
@@ -250,7 +283,13 @@ class ProbeScoringEngine:
         )
         started = time.perf_counter()
         gains = self._map(items)
-        self.stats.add_time("score", time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        self.stats.add_time("score", elapsed)
+        if self._obs.enabled and items:
+            # Per-batch latency, in ms: one scoring pass over `items`.
+            self._obs.metrics.histogram("engine.score.batch_ms").observe(
+                elapsed * 1000.0 / len(items)
+            )
         self._refresh_counters()
         if not gains:
             return np.zeros(0)
@@ -272,6 +311,8 @@ class ProbeScoringEngine:
         ]
         self.stats.sequences_scored += len(tails)
         self.stats.batches += len(items)
+        self._obs_sequences.inc(len(tails))
+        self._obs_batches.inc(len(items))
         return items
 
     def _map(self, items: Sequence[WorkItem]) -> List[np.ndarray]:
@@ -305,6 +346,16 @@ class ProbeScoringEngine:
         self.stats.cache_hits = merged.get("prefix_cache_hits", 0)
         self.stats.cache_misses = merged.get("prefix_cache_misses", 0)
         self.stats.prefix_extensions = merged.get("prefix_extensions", 0)
+        if self._obs.enabled:
+            # Export the growth since the previous refresh; the merged
+            # totals already include fork-worker deltas, so counting in
+            # the parent here loses nothing and double-counts nothing.
+            for key, name in _OBS_COUNTER_NAMES.items():
+                total = merged.get(key, 0)
+                delta = total - self._obs_base.get(key, 0)
+                if delta > 0:
+                    self._obs.metrics.counter(name).inc(delta)
+                self._obs_base[key] = total
 
     # -- selection ----------------------------------------------------
     def best_single(
@@ -317,14 +368,17 @@ class ProbeScoringEngine:
         if not candidates:
             raise ValueError("no candidate probes")
         started = time.perf_counter()
-        gains = self.score_tails((), candidates)
-        best_flow = None
-        best_gain = -1.0
-        for flow, gain in zip(candidates, gains):
-            if gain > best_gain + TIE_EPS:
-                best_flow = flow
-                best_gain = float(gain)
-        assert best_flow is not None
+        with self._obs.span(
+            "engine.select", method="single", n_candidates=len(candidates)
+        ):
+            gains = self.score_tails((), candidates)
+            best_flow = None
+            best_gain = -1.0
+            for flow, gain in zip(candidates, gains):
+                if gain > best_gain + TIE_EPS:
+                    best_flow = flow
+                    best_gain = float(gain)
+            assert best_flow is not None
         self.stats.add_time("total", time.perf_counter() - started)
         return (best_flow,), max(best_gain, 0.0)
 
@@ -347,10 +401,18 @@ class ProbeScoringEngine:
         if n_probes == 1:
             return self.best_single(candidates)
         if method == "exhaustive":
-            return self._best_set_exhaustive(candidates, n_probes)
-        if method == "greedy":
-            return self._best_set_greedy(candidates, n_probes)
-        raise ValueError(f"unknown selection method: {method!r}")
+            selector = self._best_set_exhaustive
+        elif method == "greedy":
+            selector = self._best_set_greedy
+        else:
+            raise ValueError(f"unknown selection method: {method!r}")
+        with self._obs.span(
+            "engine.select",
+            method=method,
+            n_probes=n_probes,
+            n_candidates=len(candidates),
+        ):
+            return selector(candidates, n_probes)
 
     def _best_set_exhaustive(
         self, candidates: List[int], n_probes: int

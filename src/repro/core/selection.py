@@ -28,6 +28,7 @@ from typing import Optional, Sequence, Tuple
 
 from repro.core.engine import ProbeScoringEngine, ScoringStats
 from repro.core.inference import ReconInference
+from repro.deprecation import keyword_only
 
 
 @dataclass(frozen=True)
@@ -44,8 +45,10 @@ class ProbeChoice:
     )
 
 
+@keyword_only
 def best_single_probe(
     inference: ReconInference,
+    *,
     candidates: Optional[Sequence[int]] = None,
     n_jobs: int = 1,
     engine: Optional[ProbeScoringEngine] = None,
@@ -65,9 +68,11 @@ def best_single_probe(
     return ProbeChoice(probes=probes, gain=gain, stats=engine.stats)
 
 
+@keyword_only
 def best_probe_set(
     inference: ReconInference,
     n_probes: int,
+    *,
     candidates: Optional[Sequence[int]] = None,
     method: str = "exhaustive",
     n_jobs: int = 1,

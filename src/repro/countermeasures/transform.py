@@ -139,4 +139,4 @@ def policy_leakage(
     """
     model = CompactModel(policy, universe, delta, cache_size)
     inference = ReconInference(model, target_flow, window_steps)
-    return best_single_probe(inference, candidates).gain
+    return best_single_probe(inference, candidates=candidates).gain

@@ -1,0 +1,73 @@
+"""Deprecation shims for the keyword-only public API.
+
+The public entry points (harness construction, trial loops, selection
+helpers) take keyword-only arguments for everything beyond their one or
+two obvious leading parameters.  To migrate without breaking existing
+call sites overnight, :func:`keyword_only` wraps such a function and
+keeps accepting the old positional form for one release: extra
+positional arguments are remapped onto the keyword-only parameters in
+declaration order (which matches the old positional order) and a
+``DeprecationWarning`` names the arguments to move.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import warnings
+from typing import Any, Callable, TypeVar
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+
+def keyword_only(func: F) -> F:
+    """Accept legacy positional args for keyword-only params, with a warning.
+
+    The wrapped function's own signature is the source of truth: its
+    keyword-only parameters, in declaration order, are the parameters
+    that used to be positional.  Calls within the allowed positional
+    arity pass straight through; longer calls are remapped and warned.
+    """
+    signature = inspect.signature(func)
+    parameters = list(signature.parameters.values())
+    max_positional = sum(
+        1
+        for parameter in parameters
+        if parameter.kind
+        in (parameter.POSITIONAL_ONLY, parameter.POSITIONAL_OR_KEYWORD)
+    )
+    keyword_names = [
+        parameter.name
+        for parameter in parameters
+        if parameter.kind == parameter.KEYWORD_ONLY
+    ]
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if len(args) > max_positional:
+            extra = args[max_positional:]
+            if len(extra) > len(keyword_names):
+                raise TypeError(
+                    f"{func.__qualname__}() takes at most "
+                    f"{max_positional + len(keyword_names)} arguments "
+                    f"({len(args)} given)"
+                )
+            moved = keyword_names[: len(extra)]
+            warnings.warn(
+                f"{func.__qualname__}: passing {', '.join(moved)} "
+                "positionally is deprecated and will stop working in a "
+                "future release; pass by keyword",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            for name, value in zip(moved, extra):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{func.__qualname__}() got multiple values for "
+                        f"argument {name!r}"
+                    )
+                kwargs[name] = value
+            args = args[:max_positional]
+        return func(*args, **kwargs)
+
+    return wrapper  # type: ignore[return-value]

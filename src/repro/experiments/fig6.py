@@ -25,11 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.cdf import empirical_cdf, survival_at
+from repro.deprecation import keyword_only
 from repro.experiments.harness import (
     ConfigResult,
     sample_screened_harnesses,
 )
 from repro.experiments.params import VIABLE_FIG6_BINS, ExperimentParams
+from repro.obs import get_instrumentation
 
 
 @dataclass
@@ -98,8 +100,10 @@ class Fig6Result:
         }
 
 
+@keyword_only
 def run_fig6(
     params: ExperimentParams,
+    *,
     bins: Sequence[Tuple[float, float]] = VIABLE_FIG6_BINS,
     configs_per_bin: Optional[int] = None,
     max_attempts_factor: int = 400,
@@ -116,14 +120,16 @@ def run_fig6(
     bins = tuple(bins)
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []
+    obs = get_instrumentation()
     for low, high in bins:
         bin_params = params.with_absence_range(low, high)
-        harnesses = sample_screened_harnesses(
-            bin_params,
-            per_bin,
-            require_optimal_differs=True,
-            max_attempts_factor=max_attempts_factor,
-        )
-        bucket = [harness.run_trials() for harness in harnesses]
+        with obs.span("experiment.fig6.bin", low=low, high=high):
+            harnesses = sample_screened_harnesses(
+                bin_params,
+                per_bin,
+                require_optimal_differs=True,
+                max_attempts_factor=max_attempts_factor,
+            )
+            bucket = [harness.run_trials() for harness in harnesses]
         results.append(bucket)
     return Fig6Result(bins=bins, results_per_bin=results)

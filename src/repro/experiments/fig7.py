@@ -19,11 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.deprecation import keyword_only
 from repro.experiments.harness import (
     ConfigResult,
     sample_screened_harnesses,
 )
 from repro.experiments.params import VIABLE_FIG7_BINS, ExperimentParams
+from repro.obs import get_instrumentation
 
 #: Attackers plotted in Figure 7.
 FIG7_ATTACKERS: Tuple[str, ...] = ("constrained", "naive", "random")
@@ -123,8 +125,10 @@ class Fig7Result:
         return summary
 
 
+@keyword_only
 def run_fig7(
     params: ExperimentParams,
+    *,
     bins: Sequence[Tuple[float, float]] = VIABLE_FIG7_BINS,
     configs_per_bin: Optional[int] = None,
     max_attempts_factor: int = 150,
@@ -133,14 +137,16 @@ def run_fig7(
     bins = tuple(bins)
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []
+    obs = get_instrumentation()
     for low, high in bins:
         bin_params = params.with_absence_range(low, high)
-        harnesses = sample_screened_harnesses(
-            bin_params,
-            per_bin,
-            require_optimal_differs=False,
-            max_attempts_factor=max_attempts_factor,
-        )
-        bucket = [harness.run_trials() for harness in harnesses]
+        with obs.span("experiment.fig7.bin", low=low, high=high):
+            harnesses = sample_screened_harnesses(
+                bin_params,
+                per_bin,
+                require_optimal_differs=False,
+                max_attempts_factor=max_attempts_factor,
+            )
+            bucket = [harness.run_trials() for harness in harnesses]
         results.append(bucket)
     return Fig7Result(bins=bins, results_per_bin=results)

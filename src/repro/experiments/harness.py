@@ -24,9 +24,11 @@ from repro.core.compact_model import CompactModel
 from repro.core.engine import ScoringStats
 from repro.core.inference import ReconInference
 from repro.core.recency import make_estimator
+from repro.deprecation import keyword_only
 from repro.experiments.params import ExperimentParams
 from repro.experiments.trials import DefenseFactory, TrialResult, run_trial
 from repro.flows.config import ConfigGenerator, NetworkConfiguration
+from repro.obs import get_instrumentation
 from repro.simulator.timing import LatencyModel
 
 
@@ -62,10 +64,12 @@ class ConfigResult:
 class ConfigHarness:
     """Everything derived from one network configuration."""
 
+    @keyword_only
     def __init__(
         self,
         config: NetworkConfiguration,
         params: ExperimentParams,
+        *,
         rng: Optional[np.random.Generator] = None,
         latency: Optional[LatencyModel] = None,
     ) -> None:
@@ -73,39 +77,50 @@ class ConfigHarness:
         self.params = params
         self.rng = rng if rng is not None else np.random.default_rng(params.seed)
         self.latency = latency
+        obs = get_instrumentation()
+        self._obs = obs
 
-        self.model = CompactModel(
-            config.policy,
-            config.universe,
-            config.delta,
-            config.cache_size,
-        )
-        if params.estimator != "independent":
-            self.model.estimator = make_estimator(
-                params.estimator, self.model.context
+        with obs.phase("harness.model_build"), obs.span(
+            "harness.model_build",
+            n_flows=len(config.universe),
+            cache_size=config.cache_size,
+        ):
+            self.model = CompactModel(
+                config.policy,
+                config.universe,
+                config.delta,
+                config.cache_size,
             )
-        self.inference = ReconInference(
-            self.model, config.target_flow, config.window_steps
-        )
+            if params.estimator != "independent":
+                self.model.estimator = make_estimator(
+                    params.estimator, self.model.context
+                )
+            self.inference = ReconInference(
+                self.model, config.target_flow, config.window_steps
+            )
 
         self.naive_attacker = NaiveAttacker(config.target_flow)
-        self.model_attacker = ModelAttacker(
-            self.inference,
-            n_probes=params.n_probes,
-            decision=params.decision,
-            n_jobs=params.selection_n_jobs,
-        )
-        self.constrained_attacker = ConstrainedModelAttacker(
-            self.inference,
-            n_probes=params.n_probes,
-            decision=params.constrained_decision,
-            n_jobs=params.selection_n_jobs,
-        )
+        with obs.phase("harness.probe_selection"), obs.span(
+            "harness.probe_selection", n_probes=params.n_probes
+        ):
+            self.model_attacker = ModelAttacker(
+                self.inference,
+                n_probes=params.n_probes,
+                decision=params.decision,
+                n_jobs=params.selection_n_jobs,
+            )
+            self.constrained_attacker = ConstrainedModelAttacker(
+                self.inference,
+                n_probes=params.n_probes,
+                decision=params.constrained_decision,
+                n_jobs=params.selection_n_jobs,
+            )
         self.random_attacker = RandomAttacker(
             prior_present=1.0 - self.inference.prior_absent(),
             rng=self.rng,
             mode=params.random_attacker_mode,
         )
+        obs.metrics.counter("experiment.harnesses_built").inc()
 
     @property
     def scoring_stats(self) -> Optional[ScoringStats]:
@@ -148,8 +163,10 @@ class ConfigHarness:
             self.random_attacker,
         )
 
+    @keyword_only
     def run_trials(
         self,
+        *,
         n_trials: Optional[int] = None,
         attackers: Optional[Sequence[Attacker]] = None,
         keep_trials: bool = False,
@@ -160,21 +177,30 @@ class ConfigHarness:
         lineup = tuple(attackers) if attackers is not None else self.attackers()
         correct = {attacker.name: 0 for attacker in lineup}
         kept: List[TrialResult] = []
-        for _ in range(n_trials):
-            seed = int(self.rng.integers(2**63 - 1))
-            trial = run_trial(
-                self.config,
-                lineup,
-                seed,
-                mode=self.params.trial_mode,
-                latency=self.latency,
-                defense_factory=defense_factory,
-            )
-            for attacker in lineup:
-                if trial.correct(attacker.name):
-                    correct[attacker.name] += 1
-            if keep_trials:
-                kept.append(trial)
+        obs = self._obs
+        trial_counter = obs.metrics.counter("experiment.trials")
+        with obs.phase("harness.trials"):
+            for index in range(n_trials):
+                seed = int(self.rng.integers(2**63 - 1))
+                with obs.span(
+                    "experiment.trial",
+                    trial=index,
+                    mode=self.params.trial_mode,
+                ):
+                    trial = run_trial(
+                        self.config,
+                        lineup,
+                        seed,
+                        mode=self.params.trial_mode,
+                        latency=self.latency,
+                        defense_factory=defense_factory,
+                    )
+                trial_counter.inc()
+                for attacker in lineup:
+                    if trial.correct(attacker.name):
+                        correct[attacker.name] += 1
+                if keep_trials:
+                    kept.append(trial)
         accuracies = {
             name: count / n_trials for name, count in correct.items()
         }
@@ -197,9 +223,11 @@ class ConfigHarness:
         )
 
 
+@keyword_only
 def sample_screened_harnesses(
     params: ExperimentParams,
     n_configs: int,
+    *,
     require_optimal_differs: bool = False,
     max_attempts_factor: int = 40,
     generator: Optional[ConfigGenerator] = None,
@@ -216,6 +244,9 @@ def sample_screened_harnesses(
     harnesses: List[ConfigHarness] = []
     attempts = 0
     max_attempts = max(1, n_configs) * max_attempts_factor
+    obs = get_instrumentation()
+    sampled = obs.metrics.counter("experiment.configs_sampled")
+    screened_out = obs.metrics.counter("experiment.configs_screened_out")
     while len(harnesses) < n_configs:
         attempts += 1
         if attempts > max_attempts:
@@ -225,9 +256,12 @@ def sample_screened_harnesses(
                 "absence range"
             )
         harness = ConfigHarness.sample(params, generator=generator)
+        sampled.inc()
         if params.screen and not harness.is_screened_in():
+            screened_out.inc()
             continue
         if require_optimal_differs and not harness.optimal_differs_from_target():
+            screened_out.inc()
             continue
         harnesses.append(harness)
     return harnesses

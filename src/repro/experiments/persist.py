@@ -2,24 +2,105 @@
 
 The figure objects (:class:`~repro.experiments.fig6.Fig6Result`,
 :class:`~repro.experiments.fig7.Fig7Result`) carry live references to
-configurations; this module flattens them into plain-JSON documents --
-per-configuration rows plus the derived series -- so a full run's
-numbers can be archived, diffed between runs, or plotted without
-re-running hours of sampling.
+configurations; this module flattens them into plain-JSON documents so a
+full run's numbers can be archived, diffed between runs, or plotted
+without re-running hours of sampling.
+
+Since schema version 2 every artifact shares one envelope, the
+:class:`ResultDocument`:
+
+* ``artifact`` / ``schema_version`` -- what this is and how to read it;
+* ``params`` -- the :class:`~repro.experiments.params.ExperimentParams`
+  the run used (when known);
+* ``metrics`` -- the artifact's headline numbers (``headline`` for
+  fig6, ``summary`` for fig7);
+* ``series`` -- the plottable series (bins, accuracy curves, CDFs);
+* ``configurations`` -- per-configuration rows;
+* ``provenance`` -- repro version, git commit, and seed.
+
+For backward compatibility the legacy v1 top-level keys (``headline``,
+``summary``, ``bins``, ``accuracy_series``, ...) are still mirrored at
+the top level on save, and :func:`load_document` upgrades old files to
+the current shape in memory via :func:`migrate_document`.
 """
 
 from __future__ import annotations
 
 import json
+import subprocess
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
+from repro.deprecation import keyword_only
 from repro.experiments.fig6 import Fig6Result
 from repro.experiments.fig7 import Fig7Result
 from repro.experiments.harness import ConfigResult
+from repro.experiments.params import ExperimentParams
 from repro.version import __version__
 
 PathLike = Union[str, Path]
+
+#: Current result-document schema.  v1 (implicit, unversioned) had
+#: per-artifact ad-hoc shapes; v2 is the unified envelope.
+SCHEMA_VERSION = 2
+
+#: Where each artifact's v1 shape kept its headline metrics.
+_LEGACY_METRICS_KEY = {"fig6": "headline", "fig7": "summary"}
+
+
+def _git_sha() -> Optional[str]:
+    """The current git commit, if the repo and git are available."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = output.stdout.strip()
+    return sha if output.returncode == 0 and sha else None
+
+
+@dataclass(frozen=True)
+class ResultDocument:
+    """The unified, versioned envelope every saved result uses."""
+
+    artifact: str
+    metrics: Dict[str, object]
+    series: Dict[str, object]
+    configurations: List[List[Dict[str, object]]]
+    params: Optional[Dict[str, object]] = None
+    provenance: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    def to_json(self) -> Dict[str, object]:
+        """Plain-JSON mapping, with the legacy v1 keys mirrored.
+
+        Old consumers read ``document["headline"]`` (fig6),
+        ``document["summary"]`` (fig7), and the series keys at the top
+        level; those aliases are kept for one more schema generation.
+        """
+        document: Dict[str, object] = {
+            "artifact": self.artifact,
+            "schema_version": self.schema_version,
+            "version": __version__,
+            "params": self.params,
+            "metrics": dict(self.metrics),
+            "series": dict(self.series),
+            "provenance": dict(self.provenance),
+            "configurations": self.configurations,
+        }
+        metrics_alias = _LEGACY_METRICS_KEY.get(self.artifact)
+        if metrics_alias is not None:
+            document[metrics_alias] = dict(self.metrics)
+        for key, value in self.series.items():
+            document[key] = value
+        return document
 
 
 def _config_row(result: ConfigResult) -> Dict[str, object]:
@@ -41,51 +122,96 @@ def _config_row(result: ConfigResult) -> Dict[str, object]:
     }
 
 
-def fig6_to_document(result: Fig6Result) -> Dict[str, object]:
-    """A plain-JSON document for a Figure 6 run."""
+def _provenance(
+    params: Optional[ExperimentParams], seed: Optional[int]
+) -> Dict[str, object]:
+    if seed is None and params is not None:
+        seed = params.seed
     return {
-        "artifact": "fig6",
-        "version": __version__,
-        "bins": [list(b) for b in result.bins],
-        "bin_centers": result.bin_centers(),
-        "accuracy_series": result.accuracy_series(),
-        "improvement_cdf": [list(p) for p in result.improvement_cdf()],
-        "headline": result.headline(),
-        "configurations": [
-            [_config_row(r) for r in bucket]
-            for bucket in result.results_per_bin
-        ],
+        "repro_version": __version__,
+        "git_sha": _git_sha(),
+        "seed": seed,
     }
 
 
-def fig7_to_document(result: Fig7Result) -> Dict[str, object]:
-    """A plain-JSON document for a Figure 7 run."""
-    return {
-        "artifact": "fig7",
-        "version": __version__,
-        "bins": [list(b) for b in result.bins],
-        "bin_centers": result.bin_centers(),
-        "accuracy_series": result.accuracy_series(),
-        "accuracy_by_covering_count": {
-            str(count): row
-            for count, row in result.accuracy_by_covering_count().items()
+def _params_dict(
+    params: Optional[ExperimentParams],
+) -> Optional[Dict[str, object]]:
+    return asdict(params) if params is not None else None
+
+
+@keyword_only
+def fig6_to_document(
+    result: Fig6Result,
+    *,
+    params: Optional[ExperimentParams] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """A plain-JSON :class:`ResultDocument` for a Figure 6 run."""
+    return ResultDocument(
+        artifact="fig6",
+        metrics=result.headline(),
+        series={
+            "bins": [list(b) for b in result.bins],
+            "bin_centers": result.bin_centers(),
+            "accuracy_series": result.accuracy_series(),
+            "improvement_cdf": [list(p) for p in result.improvement_cdf()],
         },
-        "summary": result.summary(),
-        "configurations": [
+        configurations=[
             [_config_row(r) for r in bucket]
             for bucket in result.results_per_bin
         ],
-    }
+        params=_params_dict(params),
+        provenance=_provenance(params, seed),
+    ).to_json()
 
 
+@keyword_only
+def fig7_to_document(
+    result: Fig7Result,
+    *,
+    params: Optional[ExperimentParams] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """A plain-JSON :class:`ResultDocument` for a Figure 7 run."""
+    return ResultDocument(
+        artifact="fig7",
+        metrics=result.summary(),
+        series={
+            "bins": [list(b) for b in result.bins],
+            "bin_centers": result.bin_centers(),
+            "accuracy_series": result.accuracy_series(),
+            "accuracy_by_covering_count": {
+                str(count): row
+                for count, row in result.accuracy_by_covering_count().items()
+            },
+        },
+        configurations=[
+            [_config_row(r) for r in bucket]
+            for bucket in result.results_per_bin
+        ],
+        params=_params_dict(params),
+        provenance=_provenance(params, seed),
+    ).to_json()
+
+
+@keyword_only
 def save_result(
-    result: Union[Fig6Result, Fig7Result], path: PathLike
+    result: Union[Fig6Result, Fig7Result],
+    path: PathLike,
+    *,
+    params: Optional[ExperimentParams] = None,
+    seed: Optional[int] = None,
 ) -> Path:
-    """Serialise a figure result to ``path`` (JSON); returns the path."""
+    """Serialise a figure result to ``path`` (JSON); returns the path.
+
+    ``params``/``seed``, when given, are recorded in the document's
+    ``params`` and ``provenance`` sections.
+    """
     if isinstance(result, Fig6Result):
-        document = fig6_to_document(result)
+        document = fig6_to_document(result, params=params, seed=seed)
     elif isinstance(result, Fig7Result):
-        document = fig7_to_document(result)
+        document = fig7_to_document(result, params=params, seed=seed)
     else:
         raise TypeError(f"unsupported result type: {type(result).__name__}")
     path = Path(path)
@@ -94,12 +220,63 @@ def save_result(
     return path
 
 
+def migrate_document(document: Dict[str, object]) -> Dict[str, object]:
+    """Upgrade a result document to the current schema, in memory.
+
+    v1 documents (no ``schema_version``) gain the unified envelope:
+    ``metrics`` from the artifact's legacy headline key, ``series`` from
+    the legacy top-level series keys, empty ``params``/``provenance``.
+    Already-current documents are returned unchanged.
+    """
+    if document.get("schema_version") == SCHEMA_VERSION:
+        return document
+    artifact = document.get("artifact")
+    if not isinstance(artifact, str):
+        raise ValueError("not an experiment document: missing 'artifact'")
+    upgraded = dict(document)
+    upgraded["schema_version"] = SCHEMA_VERSION
+    metrics_key = _LEGACY_METRICS_KEY.get(artifact)
+    upgraded.setdefault(
+        "metrics",
+        dict(document.get(metrics_key, {})) if metrics_key else {},  # type: ignore[arg-type]
+    )
+    series_keys = (
+        "bins",
+        "bin_centers",
+        "accuracy_series",
+        "improvement_cdf",
+        "accuracy_by_covering_count",
+    )
+    upgraded.setdefault(
+        "series",
+        {key: document[key] for key in series_keys if key in document},
+    )
+    upgraded.setdefault("params", None)
+    upgraded.setdefault(
+        "provenance",
+        {"repro_version": document.get("version"), "git_sha": None, "seed": None},
+    )
+    return upgraded
+
+
 def load_document(path: PathLike) -> Dict[str, object]:
-    """Load a previously saved experiment document."""
+    """Load a previously saved experiment document (any schema version).
+
+    Old (v1) files are upgraded in memory via :func:`migrate_document`;
+    the file itself is never rewritten.
+    """
     document = json.loads(Path(path).read_text())
-    if "artifact" not in document:
+    if not isinstance(document, dict) or "artifact" not in document:
         raise ValueError(f"{path} is not an experiment document")
-    return document
+    return migrate_document(document)
+
+
+def _headline_metrics(document: Dict[str, object]) -> Dict[str, float]:
+    """The fig6 headline mapping from a v1 or v2 document."""
+    metrics = document.get("metrics")
+    if isinstance(metrics, dict) and metrics:
+        return metrics  # type: ignore[return-value]
+    return document.get("headline", {})  # type: ignore[return-value]
 
 
 def compare_headlines(
@@ -109,12 +286,13 @@ def compare_headlines(
 
     Useful for regression-tracking the reproduction between code
     changes: each row carries the metric, both values, and the delta.
+    Accepts v1 and v2 documents interchangeably.
     """
     if old.get("artifact") != "fig6" or new.get("artifact") != "fig6":
         raise ValueError("headline comparison requires fig6 documents")
     rows = []
-    old_headline: Dict[str, float] = old["headline"]  # type: ignore[assignment]
-    new_headline: Dict[str, float] = new["headline"]  # type: ignore[assignment]
+    old_headline = _headline_metrics(old)
+    new_headline = _headline_metrics(new)
     for metric in sorted(set(old_headline) | set(new_headline)):
         old_value = old_headline.get(metric)
         new_value = new_headline.get(metric)

@@ -20,9 +20,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.deprecation import keyword_only
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.experiments.fig7 import Fig7Result, run_fig7
 from repro.experiments.params import ExperimentParams
+from repro.obs import get_instrumentation
 from repro.experiments.report import (
     format_cdf,
     format_series,
@@ -140,7 +142,9 @@ class ReproductionReport:
         return directory
 
 
+@keyword_only
 def reproduce_all(
+    *,
     scale: float = 0.1,
     seed: Optional[int] = 2017,
     trial_mode: str = "table",
@@ -161,17 +165,21 @@ def reproduce_all(
         trial_mode=trial_mode,
     )
     elapsed: Dict[str, float] = {}
+    obs = get_instrumentation()
 
     start = time.perf_counter()
-    fig6 = run_fig6(params)
+    with obs.span("reproduce.fig6"), obs.phase("reproduce.fig6"):
+        fig6 = run_fig6(params)
     elapsed["fig6"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    fig7 = run_fig7(params)
+    with obs.span("reproduce.fig7"), obs.phase("reproduce.fig7"):
+        fig7 = run_fig7(params)
     elapsed["fig7"] = time.perf_counter() - start
 
     start = time.perf_counter()
-    timing = timing_table(n_samples=timing_samples, seed=seed or 0)
+    with obs.span("reproduce.timing"), obs.phase("reproduce.timing"):
+        timing = timing_table(n_samples=timing_samples, seed=seed or 0)
     elapsed["timing"] = time.perf_counter() - start
 
     statecount = statecount_report()

@@ -36,6 +36,7 @@ from typing import (
 import numpy as np
 
 from repro.core.attacker import Attacker
+from repro.deprecation import keyword_only
 from repro.flows.arrival import Arrival, occurred_in_window, sample_schedule
 from repro.flows.config import NetworkConfiguration
 from repro.flows.rules import RuleTable
@@ -251,10 +252,12 @@ def run_adaptive_trial(
     )
 
 
+@keyword_only
 def run_trial(
     config: NetworkConfiguration,
     attackers: Sequence[Attacker],
     seed: int,
+    *,
     mode: str = "network",
     latency: Optional[LatencyModel] = None,
     defense_factory: Optional[DefenseFactory] = None,

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 from repro.lint.base import LintRule
 from repro.lint.rules.determinism import SetIterationRule
 from repro.lint.rules.mutation import CachedArrayMutationRule
+from repro.lint.rules.obs import ObservabilityContextRule
 from repro.lint.rules.pyhygiene import PythonHygieneRule
 from repro.lint.rules.rng import UnseededRandomnessRule
 from repro.lint.rules.stochastic import UnvalidatedTransitionMatrixRule
@@ -18,6 +19,7 @@ ALL_RULES: List[LintRule] = [
     UnvalidatedTransitionMatrixRule(),
     SetIterationRule(),
     PythonHygieneRule(),
+    ObservabilityContextRule(),
 ]
 
 _BY_ID: Dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -31,6 +33,7 @@ def rule_by_id(rule_id: str) -> Optional[LintRule]:
 __all__ = [
     "ALL_RULES",
     "CachedArrayMutationRule",
+    "ObservabilityContextRule",
     "PythonHygieneRule",
     "SetIterationRule",
     "UnseededRandomnessRule",

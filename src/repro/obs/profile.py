@@ -1,0 +1,95 @@
+"""Opt-in per-phase wall/CPU profiling.
+
+A :class:`PhaseProfiler` aggregates named phases -- coarse stages like
+``harness.model_build`` or ``reproduce.fig6`` -- into per-name totals of
+wall time (``time.perf_counter``) and CPU time (``time.process_time``).
+Where tracing answers "what happened when", phase profiles answer
+"where did the run spend its budget" without storing one record per
+event, so they stay cheap even across thousands of trials.
+
+The CPU column only sees the current process: work delegated to the
+engine's fork pool shows up as wall time without matching CPU time,
+which is itself a useful signal of pool utilisation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+
+class Phase:
+    """One timed phase occurrence, used as a context manager."""
+
+    __slots__ = ("profiler", "name", "_wall_start", "_cpu_start")
+
+    def __init__(self, profiler: Optional["PhaseProfiler"], name: str) -> None:
+        self.profiler = profiler
+        self.name = name
+        self._wall_start = 0.0
+        self._cpu_start = 0.0
+
+    def __enter__(self) -> "Phase":
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self.profiler is not None:
+            self.profiler._record(
+                self.name,
+                wall_s=time.perf_counter() - self._wall_start,
+                cpu_s=time.process_time() - self._cpu_start,
+            )
+
+
+class PhaseProfiler:
+    """Aggregate wall/CPU totals per phase name."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, Dict[str, float]] = {}
+
+    def phase(self, name: str) -> Phase:
+        """Open a timed phase; totals accumulate when it exits."""
+        return Phase(self, name)
+
+    def _record(self, name: str, wall_s: float, cpu_s: float) -> None:
+        entry = self.totals.get(name)
+        if entry is None:
+            entry = {"count": 0, "wall_s": 0.0, "cpu_s": 0.0}
+            self.totals[name] = entry
+        entry["count"] += 1
+        entry["wall_s"] += wall_s
+        entry["cpu_s"] += cpu_s
+
+    def __len__(self) -> int:
+        return len(self.totals)
+
+    def to_document(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase totals as a sorted plain-JSON mapping."""
+        return {name: dict(self.totals[name]) for name in sorted(self.totals)}
+
+
+class NullPhase(Phase):
+    """Inert phase: enter/exit read no clocks."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(None, "null")
+
+    def __enter__(self) -> "NullPhase":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        pass
+
+
+_NULL_PHASE = NullPhase()
+
+
+class NullPhaseProfiler(PhaseProfiler):
+    """Profiler that hands out one shared inert phase (the default)."""
+
+    def phase(self, name: str) -> Phase:
+        return _NULL_PHASE

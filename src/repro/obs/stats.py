@@ -1,0 +1,82 @@
+"""Summarise NDJSON trace files into per-span-name aggregates.
+
+Backs the ``repro-sdn stats`` subcommand: read a trace produced with
+``--trace``, group spans by name, and report count / total / mean /
+min / max durations, sorted by total time descending so the biggest
+consumers lead the table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+
+def summarize_spans(
+    records: List[Dict[str, object]]
+) -> List[Dict[str, Union[str, int, float]]]:
+    """Aggregate span records (from ``trace.read_ndjson``) by name.
+
+    Returns one row per span name with keys ``name``, ``count``,
+    ``total_ms``, ``mean_ms``, ``min_ms``, ``max_ms``, sorted by
+    ``total_ms`` descending (ties broken by name for determinism).
+    Spans without a recorded duration (still open at export) are
+    skipped.
+    """
+    grouped: Dict[str, List[float]] = {}
+    for record in records:
+        duration = record.get("duration_s")
+        if not isinstance(duration, (int, float)):
+            continue
+        grouped.setdefault(str(record["name"]), []).append(float(duration))
+
+    rows: List[Dict[str, Union[str, int, float]]] = []
+    for name in sorted(grouped):
+        durations_ms = [d * 1000.0 for d in grouped[name]]
+        total = sum(durations_ms)
+        rows.append(
+            {
+                "name": name,
+                "count": len(durations_ms),
+                "total_ms": total,
+                "mean_ms": total / len(durations_ms),
+                "min_ms": min(durations_ms),
+                "max_ms": max(durations_ms),
+            }
+        )
+    rows.sort(key=lambda row: (-float(row["total_ms"]), str(row["name"])))
+    return rows
+
+
+def format_table(rows: List[Dict[str, Union[str, int, float]]]) -> str:
+    """Render summary rows as an aligned plain-text table."""
+    headers = ("span", "count", "total_ms", "mean_ms", "min_ms", "max_ms")
+    if not rows:
+        return "trace contains no finished spans"
+    body = [
+        (
+            str(row["name"]),
+            str(row["count"]),
+            f"{float(row['total_ms']):.3f}",
+            f"{float(row['mean_ms']):.3f}",
+            f"{float(row['min_ms']):.3f}",
+            f"{float(row['max_ms']):.3f}",
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(headers[i]), max(len(line[i]) for line in body))
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(headers[i].ljust(widths[i]) for i in range(len(headers))),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for line in body:
+        # name column left-aligned, value columns right-aligned
+        lines.append(
+            "  ".join(
+                [line[0].ljust(widths[0])]
+                + [line[i].rjust(widths[i]) for i in range(1, len(headers))]
+            )
+        )
+    return "\n".join(lines)

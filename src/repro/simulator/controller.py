@@ -19,6 +19,7 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 from repro.flows.rules import Rule, RuleTable
+from repro.obs import get_instrumentation
 from repro.simulator.messages import FlowMod, PacketIn, PacketOut
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -32,11 +33,18 @@ class ReactiveController:
         self.network = network
         self.policy = policy
         self.stats = {"packet_ins": 0, "installs": 0, "forward_only": 0}
+        # Observability mirror of ``stats`` (see docs/OBSERVABILITY.md);
+        # each packet-in is one control-plane round-trip.
+        obs = get_instrumentation().metrics
+        self._obs_packet_ins = obs.counter("sim.controller.packet_ins")
+        self._obs_installs = obs.counter("sim.controller.installs")
+        self._obs_forward_only = obs.counter("sim.controller.forward_only")
 
     def handle_packet_in(self, message: PacketIn) -> None:
         """Process one miss notification."""
         network = self.network
         self.stats["packet_ins"] += 1
+        self._obs_packet_ins.inc()
         switch = network.switches[message.switch_name]
         out_port = network.route_port(switch.name, message.packet.flow.dst)
         rule = self.policy.highest_covering(message.packet.flow)
@@ -50,6 +58,7 @@ class ReactiveController:
 
         if rule is None:
             self.stats["forward_only"] += 1
+            self._obs_forward_only.inc()
 
             def release() -> None:
                 switch.handle_packet_out(
@@ -60,6 +69,7 @@ class ReactiveController:
             return
 
         self.stats["installs"] += 1
+        self._obs_installs.inc()
         install_delay = network.latency.flowmod_install_delay(network.rng)
 
         def install_and_release() -> None:

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.flows.flowid import FlowId
 from repro.flows.rules import Rule
+from repro.obs import get_instrumentation
 
 
 @dataclass
@@ -79,6 +80,15 @@ class FlowTable:
             "evictions": 0,
             "expirations": 0,
         }
+        # Observability mirror of ``stats`` (see docs/OBSERVABILITY.md).
+        # Instruments are resolved once here; under the default null
+        # backend they are shared no-op singletons.
+        obs = get_instrumentation().metrics
+        self._obs_hits = obs.counter("sim.table.hits")
+        self._obs_misses = obs.counter("sim.table.misses")
+        self._obs_installs = obs.counter("sim.table.installs")
+        self._obs_evictions = obs.counter("sim.table.evictions")
+        self._obs_expirations = obs.counter("sim.table.expirations")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -106,6 +116,7 @@ class FlowTable:
         for entry in expired:
             del self._entries[entry.rule.name]
             self.stats["expirations"] += 1
+            self._obs_expirations.inc()
         return expired
 
     # ------------------------------------------------------------------
@@ -129,8 +140,10 @@ class FlowTable:
                 best = entry
         if best is None:
             self.stats["misses"] += 1
+            self._obs_misses.inc()
             return None
         self.stats["hits"] += 1
+        self._obs_hits.inc()
         if refresh:
             best.last_match = now
         return best
@@ -171,10 +184,12 @@ class FlowTable:
                 return None  # table full of permanent rules
             del self._entries[evicted.rule.name]
             self.stats["evictions"] += 1
+            self._obs_evictions.inc()
         self._entries[rule.name] = TableEntry(
             rule=rule, out_port=out_port, install_time=now, last_match=now
         )
         self.stats["installs"] += 1
+        self._obs_installs.inc()
         return evicted
 
     def _pick_victim(self, now: float) -> Optional[TableEntry]:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_instrumentation
 from repro.simulator.network import Network
 
 
@@ -77,6 +78,9 @@ class NetworkMonitor:
         self.snapshots: List[CacheSnapshot] = []
         self.lifetimes = RuleLifetimes()
         self._armed_until: float = 0.0
+        self._obs_snapshots = get_instrumentation().metrics.counter(
+            "sim.monitor.snapshots"
+        )
 
     def snapshot(self) -> CacheSnapshot:
         """Record the cache contents right now."""
@@ -92,6 +96,7 @@ class NetworkMonitor:
                     (current.time, None)
                 )
         self.snapshots.append(current)
+        self._obs_snapshots.inc()
         return current
 
     def arm(self, until: float) -> None:

@@ -30,6 +30,7 @@ from repro.flows.rules import (
     ACTION_FORWARD,
     Rule,
 )
+from repro.obs import get_instrumentation
 from repro.simulator.flowtable import FlowTable
 from repro.simulator.messages import FlowMod, Packet, PacketIn, PacketOut
 
@@ -60,6 +61,14 @@ class Switch:
             "flooded": 0,
             "dropped": 0,
         }
+        # Observability mirror of ``stats`` (see docs/OBSERVABILITY.md);
+        # no-op singletons under the default null backend.
+        obs = get_instrumentation().metrics
+        self._obs_received = obs.counter("sim.switch.received")
+        self._obs_forwarded = obs.counter("sim.switch.forwarded")
+        self._obs_packet_ins = obs.counter("sim.switch.packet_ins")
+        self._obs_flooded = obs.counter("sim.switch.flooded")
+        self._obs_dropped = obs.counter("sim.switch.dropped")
 
     # ------------------------------------------------------------------
     # Data plane
@@ -69,12 +78,14 @@ class Switch:
         network = self.network
         now = network.sim.now
         self.stats["received"] += 1
+        self._obs_received.inc()
         network.defense_observe(self, packet)
         entry = self.table.lookup(packet.flow, now)
         if entry is None or entry.rule.action == ACTION_FLOOD:
             # The paper's default rule floods unmatched traffic; our
             # workloads never rely on it, so account and drop.
             self.stats["flooded"] += 1
+            self._obs_flooded.inc()
             return
         if entry.rule.action == ACTION_CONTROLLER:
             self._send_packet_in(packet, in_port)
@@ -83,6 +94,7 @@ class Switch:
             self._forward(packet, entry.out_port, cache_hit=True)
             return
         self.stats["dropped"] += 1
+        self._obs_dropped.inc()
 
     def _forward(
         self, packet: Packet, out_port: int, cache_hit: bool
@@ -96,6 +108,7 @@ class Switch:
             delay, lambda: network.deliver(self, out_port, packet)
         )
         self.stats["forwarded"] += 1
+        self._obs_forwarded.inc()
 
     # ------------------------------------------------------------------
     # Miss path
@@ -103,6 +116,7 @@ class Switch:
     def _send_packet_in(self, packet: Packet, in_port: int) -> None:
         network = self.network
         self.stats["packet_ins"] += 1
+        self._obs_packet_ins.inc()
         self._pending[packet.packet_id] = packet
         message = PacketIn(switch_name=self.name, packet=packet, in_port=in_port)
         delay = network.latency.control_link_delay(network.rng)

@@ -106,13 +106,13 @@ def test_engine_matches_serial_restricted_candidates(seed):
     engine_inf = ReconInference(model, target, window)
 
     serial = best_single_probe_serial(serial_inf, candidates)
-    fast = best_single_probe(engine_inf, candidates)
+    fast = best_single_probe(engine_inf, candidates=candidates)
     assert fast.probes == serial.probes
     assert fast.gain == pytest.approx(serial.gain, abs=ATOL)
 
     if len(candidates) >= 2:
         serial_set = best_probe_set_serial(serial_inf, 2, candidates)
-        fast_set = best_probe_set(engine_inf, 2, candidates)
+        fast_set = best_probe_set(engine_inf, 2, candidates=candidates)
         assert fast_set.probes == serial_set.probes
         assert fast_set.gain == pytest.approx(serial_set.gain, abs=ATOL)
 

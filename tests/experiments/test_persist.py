@@ -7,12 +7,15 @@ import pytest
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.persist import (
+    SCHEMA_VERSION,
     compare_headlines,
     fig6_to_document,
     fig7_to_document,
     load_document,
+    migrate_document,
     save_result,
 )
+from repro.version import __version__
 
 from tests.experiments.conftest import tiny_experiment_params
 
@@ -78,6 +81,90 @@ class TestSaveLoad:
         path.write_text('{"hello": 1}')
         with pytest.raises(ValueError):
             load_document(path)
+
+
+class TestResultDocumentEnvelope:
+    def test_documents_carry_the_versioned_envelope(self, fig6_result):
+        document = fig6_to_document(fig6_result)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["metrics"] == document["headline"]
+        assert set(document["series"]) == {
+            "bins", "bin_centers", "accuracy_series", "improvement_cdf",
+        }
+        assert document["series"]["bins"] == document["bins"]
+        assert document["provenance"]["repro_version"] == __version__
+        assert "seed" in document["provenance"]
+        assert "git_sha" in document["provenance"]
+
+    def test_fig7_metrics_mirror_summary(self, fig7_result):
+        document = fig7_to_document(fig7_result)
+        assert document["metrics"] == document["summary"]
+        assert "accuracy_by_covering_count" in document["series"]
+
+    def test_params_and_seed_recorded_when_given(self, fig6_result, tmp_path):
+        params = tiny_experiment_params(n_trials=6, seed=91)
+        path = save_result(
+            fig6_result, tmp_path / "fig6.json", params=params, seed=91
+        )
+        document = load_document(path)
+        assert document["params"]["n_trials"] == 6
+        assert document["params"]["seed"] == 91
+        assert document["provenance"]["seed"] == 91
+
+    def test_seed_defaults_to_params_seed(self, fig6_result):
+        params = tiny_experiment_params(n_trials=6, seed=91)
+        document = fig6_to_document(fig6_result, params=params)
+        assert document["provenance"]["seed"] == params.seed
+
+    def test_params_default_to_none(self, fig6_result):
+        assert fig6_to_document(fig6_result)["params"] is None
+
+
+class TestMigration:
+    def _legacy_v1(self, fig6_result):
+        """A pre-envelope (v1) document as older releases wrote it."""
+        document = fig6_to_document(fig6_result)
+        for key in ("schema_version", "params", "metrics", "series",
+                    "provenance"):
+            del document[key]
+        return document
+
+    def test_v1_file_loads_and_is_upgraded(self, fig6_result, tmp_path):
+        legacy = self._legacy_v1(fig6_result)
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(legacy))
+        document = load_document(path)
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["metrics"] == legacy["headline"]
+        assert document["series"]["bins"] == legacy["bins"]
+        assert document["params"] is None
+        assert document["provenance"]["seed"] is None
+        # Legacy keys are untouched.
+        assert document["headline"] == legacy["headline"]
+        assert document["configurations"] == legacy["configurations"]
+
+    def test_migration_does_not_rewrite_the_file(self, fig6_result, tmp_path):
+        legacy = self._legacy_v1(fig6_result)
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(legacy))
+        load_document(path)
+        assert json.loads(path.read_text()) == legacy
+
+    def test_current_documents_pass_through_unchanged(self, fig6_result):
+        document = fig6_to_document(fig6_result)
+        assert migrate_document(document) is document
+
+    def test_migrate_rejects_artifactless_dicts(self):
+        with pytest.raises(ValueError, match="artifact"):
+            migrate_document({"hello": 1})
+
+    def test_compare_headlines_accepts_v1_and_v2(self, fig6_result):
+        v2 = fig6_to_document(fig6_result)
+        v1 = self._legacy_v1(fig6_result)
+        rows = compare_headlines(v1, v2)
+        assert rows
+        for row in rows:
+            assert row["delta"] == pytest.approx(0.0)
 
 
 class TestCompareHeadlines:

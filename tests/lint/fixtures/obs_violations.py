@@ -1,0 +1,38 @@
+"""OBS001 fixture: spans/phases opened without a context manager.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+
+def bare_span_statement(obs):
+    obs.span("engine.select")  # expect[OBS001]
+    return obs
+
+
+def bare_phase_statement(profiler):
+    profiler.phase("model_build")  # expect[OBS001]
+
+
+def span_assigned_but_never_entered(tracer):
+    pending = tracer.span("experiment.trial", trial=0)  # expect[OBS001]
+    return pending
+
+
+def annotated_assignment(obs):
+    timer: object = obs.phase("harness.trials")  # expect[OBS001]
+    return timer
+
+
+def with_block_is_fine(obs):
+    with obs.span("engine.select", method="exhaustive"):
+        with obs.phase("scoring") as timer:
+            return timer
+
+
+def forwarding_the_context_manager_is_fine(obs, name):
+    return obs.span(name)
+
+
+def passing_it_along_is_fine(stack, obs):
+    stack.enter_context(obs.span("cli.headline"))

@@ -14,7 +14,9 @@ class TestExitCodes:
         code = main(["check", str(FIXTURES)])
         assert code == 1
         out = capsys.readouterr().out
-        for rule_id in ("RNG001", "MUT001", "STO001", "DET001", "PY001"):
+        for rule_id in (
+            "RNG001", "MUT001", "STO001", "DET001", "PY001", "OBS001",
+        ):
             assert rule_id in out
 
     def test_clean_tree_exits_zero(self, capsys):
@@ -61,5 +63,7 @@ class TestOutputFormats:
         code = main(["check", "--list-rules"])
         assert code == 0
         out = capsys.readouterr().out
-        for rule_id in ("RNG001", "MUT001", "STO001", "DET001", "PY001"):
+        for rule_id in (
+            "RNG001", "MUT001", "STO001", "DET001", "PY001", "OBS001",
+        ):
             assert rule_id in out

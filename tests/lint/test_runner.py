@@ -30,7 +30,9 @@ class TestCleanTree:
 class TestRuleRegistry:
     def test_all_rule_ids_unique_and_stable(self):
         ids = [rule.rule_id for rule in ALL_RULES]
-        assert ids == ["RNG001", "MUT001", "STO001", "DET001", "PY001"]
+        assert ids == [
+            "RNG001", "MUT001", "STO001", "DET001", "PY001", "OBS001",
+        ]
         assert len(set(ids)) == len(ids)
 
     def test_rule_by_id(self):

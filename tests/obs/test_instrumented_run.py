@@ -1,0 +1,87 @@
+"""End-to-end: a small experiment run under a recording backend.
+
+One harness, a handful of table-mode trials.  Asserts the wiring across
+layers: simulator counters, engine counters/histogram, harness phases
+and spans, and that the exported artifacts are valid and loadable.
+"""
+
+import pytest
+
+from repro.experiments.harness import ConfigHarness
+from repro.experiments.params import ExperimentParams
+from repro.obs import Instrumentation, use_instrumentation
+from repro.obs.trace import iter_spans, read_ndjson
+
+N_TRIALS = 3
+
+
+@pytest.fixture(scope="module")
+def instrumented_run():
+    obs = Instrumentation()
+    with use_instrumentation(obs):
+        harness = ConfigHarness.sample(
+            ExperimentParams(n_trials=N_TRIALS, seed=11, trial_mode="table")
+        )
+        result = harness.run_trials()
+    return obs, result
+
+
+def test_counters_cover_every_layer(instrumented_run):
+    obs, _ = instrumented_run
+    counters = obs.metrics.to_document()["counters"]
+    assert counters["experiment.harnesses_built"] == 1
+    assert counters["experiment.trials"] == N_TRIALS
+    assert counters["engine.sequences_scored"] > 0
+    assert counters["engine.evolutions"] > 0
+    assert counters["sim.table.hits"] + counters["sim.table.misses"] > 0
+    assert 0 < counters["sim.table.installs"] <= counters["sim.table.misses"]
+
+
+def test_engine_histogram_and_gauge(instrumented_run):
+    obs, _ = instrumented_run
+    document = obs.metrics.to_document()
+    batch_ms = document["histograms"]["engine.score.batch_ms"]
+    assert batch_ms["count"] > 0
+    assert batch_ms["min"] >= 0.0
+    assert document["gauges"]["engine.pool.n_jobs"] == 1.0
+
+
+def test_phases_record_wall_and_cpu(instrumented_run):
+    obs, _ = instrumented_run
+    phases = obs.profiler.to_document()
+    for name in ("harness.model_build", "harness.probe_selection",
+                 "harness.trials"):
+        assert phases[name]["count"] == 1
+        assert phases[name]["wall_s"] >= 0.0
+        assert phases[name]["cpu_s"] >= 0.0
+
+
+def test_spans_nest_trials_under_the_run(instrumented_run, tmp_path):
+    obs, _ = instrumented_run
+    records = read_ndjson(obs.write_trace(tmp_path / "run.ndjson"))
+    trials = list(iter_spans(records, "experiment.trial"))
+    assert len(trials) == N_TRIALS
+    assert all(t["attrs"]["mode"] == "table" for t in trials)
+    selects = list(iter_spans(records, "engine.select"))
+    assert selects, "probe selection must be traced"
+    assert list(iter_spans(records, "harness.model_build"))
+
+
+def test_metrics_document_exports_valid_json(instrumented_run, tmp_path):
+    import json
+
+    obs, _ = instrumented_run
+    path = obs.write_metrics(tmp_path / "metrics.json")
+    document = json.loads(path.read_text())
+    assert set(document) == {
+        "schema_version", "counters", "gauges", "histograms", "phases",
+    }
+
+
+def test_instrumentation_does_not_change_results(instrumented_run):
+    _, instrumented_result = instrumented_run
+    bare = ConfigHarness.sample(
+        ExperimentParams(n_trials=N_TRIALS, seed=11, trial_mode="table")
+    ).run_trials()
+    assert bare.accuracies == instrumented_result.accuracies
+    assert bare.optimal_probe == instrumented_result.optimal_probe

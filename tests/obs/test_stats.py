@@ -1,0 +1,61 @@
+"""Trace summarisation behind ``repro-sdn stats``."""
+
+from repro.obs.stats import format_table, summarize_spans
+
+
+def _record(name, duration_s, span_id=1):
+    return {
+        "span_id": span_id,
+        "name": name,
+        "start_s": 0.0,
+        "duration_s": duration_s,
+        "depth": 0,
+    }
+
+
+def test_rows_aggregate_per_name():
+    records = [
+        _record("fast", 0.001),
+        _record("fast", 0.003),
+        _record("slow", 0.5),
+    ]
+    rows = summarize_spans(records)
+    by_name = {row["name"]: row for row in rows}
+    assert by_name["fast"]["count"] == 2
+    assert by_name["fast"]["total_ms"] == 4.0
+    assert by_name["fast"]["mean_ms"] == 2.0
+    assert by_name["fast"]["min_ms"] == 1.0
+    assert by_name["fast"]["max_ms"] == 3.0
+
+
+def test_rows_sorted_by_total_descending_then_name():
+    records = [
+        _record("b_tied", 0.002),
+        _record("a_tied", 0.002),
+        _record("big", 1.0),
+    ]
+    assert [row["name"] for row in summarize_spans(records)] == [
+        "big", "a_tied", "b_tied",
+    ]
+
+
+def test_unfinished_spans_are_skipped():
+    records = [_record("done", 0.1), _record("open", None)]
+    rows = summarize_spans(records)
+    assert [row["name"] for row in rows] == ["done"]
+
+
+def test_format_table_aligns_and_includes_every_row():
+    rows = summarize_spans([_record("alpha", 0.25), _record("beta", 0.001)])
+    rendered = format_table(rows)
+    lines = rendered.splitlines()
+    assert lines[0].startswith("span")
+    assert set(lines[1]) <= {"-", " "}
+    assert any("alpha" in line and "250.000" in line for line in lines)
+    assert any("beta" in line for line in lines)
+    # Every line in an aligned table has the same width.
+    assert len({len(line) for line in lines}) == 1
+
+
+def test_format_table_empty():
+    assert "no finished spans" in format_table([])

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.trace import Tracer, read_ndjson
 
 
 class TestParser:
@@ -30,6 +33,8 @@ class TestParser:
                 else [command, "--seed", "1"]
             )
             assert callable(args.func)
+        for extra in (["check"], ["stats", "trace.ndjson"]):
+            assert callable(parser.parse_args(extra).func)
 
     def test_reproduce_defaults(self):
         args = build_parser().parse_args(["reproduce"])
@@ -84,4 +89,81 @@ class TestExecution:
         args = build_parser().parse_args(["select"])
         assert args.probes == 2
         assert args.method == "exhaustive"
-        assert args.n_jobs == 1
+        assert args.jobs == 1
+
+    def test_jobs_alias(self):
+        args = build_parser().parse_args(["select", "--n-jobs", "3"])
+        assert args.jobs == 3
+
+    def test_out_alias(self):
+        args = build_parser().parse_args(["fig6a", "--save", "x.json"])
+        assert args.out == "x.json"
+
+    def test_common_flags_everywhere(self):
+        parser = build_parser()
+        for command in ("demo", "fig6a", "headline", "reproduce", "check"):
+            args = parser.parse_args([command])
+            assert args.trace is None
+            assert args.metrics is None
+
+
+class TestObservability:
+    def test_trace_and_metrics_written(self, tmp_path, capsys):
+        trace = tmp_path / "trace.ndjson"
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["statecount", "--trace", str(trace), "--metrics", str(metrics)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "wrote trace" in err and "wrote metrics" in err
+
+        records = read_ndjson(trace)
+        assert [r["name"] for r in records] == ["cli.statecount"]
+        document = json.loads(metrics.read_text())
+        assert {"counters", "gauges", "histograms", "phases"} <= set(document)
+
+    def test_no_flags_means_no_files(self, tmp_path, capsys):
+        assert main(["statecount"]) == 0
+        assert "wrote trace" not in capsys.readouterr().err
+
+
+class TestStats:
+    @pytest.fixture()
+    def trace_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("cli.demo"):
+            with tracer.span("engine.select"):
+                pass
+            with tracer.span("engine.select"):
+                pass
+        return tracer.write_ndjson(tmp_path / "trace.ndjson")
+
+    def test_text_summary(self, trace_file, capsys):
+        assert main(["stats", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "span" in out and "count" in out
+        assert "cli.demo" in out and "engine.select" in out
+        assert "3 span(s)" in out
+
+    def test_json_format(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["engine.select"]["count"] == 2
+
+    def test_limit(self, trace_file, capsys):
+        assert main(["stats", str(trace_file), "--limit", "1",
+                     "--format", "json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "absent.ndjson")])
+        assert code == 2
+        assert "stats:" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.ndjson"
+        bad.write_text("not json\n")
+        assert main(["stats", str(bad)]) == 2
+        assert "invalid NDJSON" in capsys.readouterr().err
