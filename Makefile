@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full demo examples check lint stats clean
+.PHONY: install test test-fast bench bench-full demo examples check lint stats faults-smoke coverage clean
 
 install:
 	pip install -e .
@@ -50,6 +50,30 @@ stats:
 		--configs 2 --trials 5 --seed 12 --mode table \
 		--trace /tmp/repro-trace.ndjson --metrics /tmp/repro-metrics.json
 	PYTHONPATH=src $(PYTHON) -m repro.cli stats /tmp/repro-trace.ndjson
+
+# Fault-injection smoke (docs/FAULTS.md): a tiny end-to-end robustness
+# sweep -- screened sampling, faulty re-trials, retries, counter export.
+# Not part of tier-1; a couple of minutes of wall clock.
+faults-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli robustness \
+		--configs 2 --trials 6 --mode table --rates 0,0.3 \
+		--probe-retries 1 --seed 5 \
+		--metrics /tmp/repro-faults-metrics.json
+
+# Coverage gate (CI runs this with pytest-cov installed; locally it is
+# skipped with a notice when pytest-cov is absent, like ruff/mypy in
+# `check`).  The floor sits under the measured baseline (~95% line
+# coverage of src/repro under the tier-1 suite) to absorb tool and
+# fork-pool accounting differences -- raise it as coverage grows,
+# never lower it to pass.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+			--cov=repro --cov-report=term-missing:skip-covered \
+			--cov-fail-under=90; \
+	else \
+		echo "pytest-cov not installed; skipping (pip install pytest-cov)"; \
+	fi
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -10,6 +10,7 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     repro-sdn timing [--samples N]
     repro-sdn statecount
     repro-sdn headline [...]
+    repro-sdn robustness [--rates 0,0.1 --kinds packet_in_loss ...]
     repro-sdn select [--probes M --method ... --jobs J]
     repro-sdn check [paths] [--select RULES --format text|json]
     repro-sdn stats trace.ndjson [--format text|json]
@@ -37,6 +38,8 @@ from repro.experiments.params import ExperimentParams
 if TYPE_CHECKING:
     from repro.experiments.fig6 import Fig6Result
     from repro.experiments.fig7 import Fig7Result
+    from repro.experiments.robustness import RobustnessResult
+    from repro.faults import FaultPlan
 
 
 # ----------------------------------------------------------------------
@@ -52,6 +55,7 @@ def add_common_args(
     out: bool = False,
     mode: bool = False,
     mode_default: str = "network",
+    faults: bool = False,
 ) -> None:
     """Attach the flags shared across subcommands.
 
@@ -59,10 +63,11 @@ def add_common_args(
     fallback (documented in the help text) is applied by
     :func:`_resolved_seed`, so explicit seeds behave identically
     everywhere.  ``experiment`` adds the ``--configs/--trials/--mode/
-    --out`` block of the figure pipelines; ``jobs`` adds ``--jobs``
-    (``--n-jobs`` is kept as a deprecated alias).  ``--trace`` and
-    ``--metrics`` are attached unconditionally: observability is
-    available on every subcommand.
+    --out`` block of the figure pipelines (plus the fault flags);
+    ``jobs`` adds ``--jobs`` (``--n-jobs`` is kept as a deprecated
+    alias); ``faults`` adds ``--fault-plan``/``--probe-retries``
+    (docs/FAULTS.md).  ``--trace`` and ``--metrics`` are attached
+    unconditionally: observability is available on every subcommand.
     """
     if seed:
         fallback = "fresh entropy" if seed_fallback is None else seed_fallback
@@ -82,6 +87,21 @@ def add_common_args(
         )
         mode = True
         out = True
+        faults = True
+    if faults:
+        parser.add_argument(
+            "--fault-plan", type=str, default=None, metavar="SPEC",
+            help=(
+                "seeded fault injection: 'key=value,...' pairs "
+                "(packet_in_loss, flow_mod_loss, probe_reply_loss, "
+                "controller_jitter, outage_rate, outage_duration, seed) "
+                "or '@plan.json'; default: no faults"
+            ),
+        )
+        parser.add_argument(
+            "--probe-retries", type=int, default=0, metavar="N",
+            help="probe retransmissions after a timeout (default: 0)",
+        )
     if mode:
         parser.add_argument(
             "--mode", choices=("network", "table"), default=mode_default,
@@ -115,6 +135,16 @@ def _resolved_seed(args: argparse.Namespace) -> Optional[int]:
     return getattr(args, "seed_fallback", None)
 
 
+def _fault_plan(args: argparse.Namespace) -> Optional["FaultPlan"]:
+    """The parsed ``--fault-plan``, or ``None`` when faults are off."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return None
+    from repro.faults import FaultPlan
+
+    return FaultPlan.parse(spec)
+
+
 def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
     return ExperimentParams(
         n_configs=args.configs,
@@ -122,12 +152,14 @@ def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
         seed=_resolved_seed(args),
         trial_mode=args.mode,
         selection_n_jobs=getattr(args, "jobs", 1),
+        fault_plan=_fault_plan(args),
+        probe_retries=getattr(args, "probe_retries", 0),
     )
 
 
 def _maybe_save(
     args: argparse.Namespace,
-    result: Union["Fig6Result", "Fig7Result"],
+    result: Union["Fig6Result", "Fig7Result", "RobustnessResult"],
     params: Optional[ExperimentParams] = None,
 ) -> None:
     path = getattr(args, "out", None)
@@ -375,11 +407,56 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=_resolved_seed(args),
         trial_mode=args.mode,
+        fault_plan=_fault_plan(args),
+        probe_retries=getattr(args, "probe_retries", 0),
     )
     print(report.render())
     if args.out:
         directory = report.save(args.out)
         print(f"\narchived run under {directory}")
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_series, format_table
+    from repro.experiments.robustness import (
+        DEFAULT_KINDS,
+        DEFAULT_RATES,
+        run_robustness,
+    )
+
+    params = _experiment_params(args)
+    rates = (
+        tuple(float(part) for part in args.rates.split(","))
+        if args.rates
+        else DEFAULT_RATES
+    )
+    kinds = (
+        tuple(part.strip() for part in args.kinds.split(","))
+        if args.kinds
+        else DEFAULT_KINDS
+    )
+    result = run_robustness(params, rates=rates, kinds=kinds)
+    _maybe_save(args, result, params)
+    print(
+        format_series(
+            "fault rate",
+            list(result.rates),
+            result.accuracy_series(),
+            title=(
+                "Robustness: average accuracy vs fault rate "
+                f"({', '.join(result.kinds)})"
+            ),
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in result.summary().items()],
+            title="Robustness summary",
+        )
+    )
     return 0
 
 
@@ -551,9 +628,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common_args(
         reproduce, seed_fallback=2017, mode=True, mode_default="table",
-        out=True,
+        out=True, faults=True,
     )
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="accuracy-vs-fault-rate sweep (seeded fault injection)",
+    )
+    robustness.add_argument(
+        "--rates", type=str, default=None, metavar="R1,R2,...",
+        help="comma-separated fault rates (default: 0,0.05,0.1,0.2,0.4)",
+    )
+    robustness.add_argument(
+        "--kinds", type=str, default=None, metavar="KIND,...",
+        help=(
+            "loss kinds the swept rate applies to "
+            "(default: packet_in_loss,probe_reply_loss)"
+        ),
+    )
+    add_common_args(robustness, seed_fallback=2017, experiment=True, jobs=True)
+    robustness.set_defaults(func=_cmd_robustness)
 
     check = sub.add_parser(
         "check",

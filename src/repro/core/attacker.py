@@ -43,8 +43,13 @@ class Attacker(ABC):
         """Ordered probe flow indices to inject."""
 
     @abstractmethod
-    def decide(self, outcomes: Sequence[int]) -> int:
-        """Verdict on ``X̂`` given the observed outcome bits."""
+    def decide(self, outcomes: Sequence[Optional[int]]) -> int:
+        """Verdict on ``X̂`` given the observed outcome bits.
+
+        A ``None`` entry marks a probe that went unanswered (timed out
+        despite retries -- see ``Prober``); implementations must degrade
+        gracefully rather than crash or silently assume a miss.
+        """
 
 
 class NaiveAttacker(Attacker):
@@ -58,9 +63,14 @@ class NaiveAttacker(Attacker):
     def plan(self) -> Tuple[int, ...]:
         return (self.target_flow,)
 
-    def decide(self, outcomes: Sequence[int]) -> int:
+    def decide(self, outcomes: Sequence[Optional[int]]) -> int:
         if len(outcomes) != 1:
             raise ValueError("naive attacker expects exactly one outcome")
+        if outcomes[0] is None:
+            # The naive attacker has no model to marginalise with; an
+            # unanswered probe carries no timing signal, so it answers
+            # "absent" (the paper's naive rule answers the raw bit).
+            return 0
         return int(outcomes[0])
 
 
@@ -116,15 +126,20 @@ class ModelAttacker(Attacker):
     def plan(self) -> Tuple[int, ...]:
         return self.choice.probes
 
-    def decide(self, outcomes: Sequence[int]) -> int:
+    def decide(self, outcomes: Sequence[Optional[int]]) -> int:
         if len(outcomes) != len(self.choice.probes):
             raise ValueError(
                 f"expected {len(self.choice.probes)} outcomes, "
                 f"got {len(outcomes)}"
             )
-        if self.decision == "query" and len(outcomes) == 1:
-            return int(outcomes[0])
-        return self._tree.predict(outcomes)
+        if any(bit is None for bit in outcomes):
+            # Unanswered probe(s): marginalise the missing bits over the
+            # decision tree's leaf masses instead of assuming a miss.
+            return self._tree.predict_partial(outcomes)
+        observed = [int(bit) for bit in outcomes if bit is not None]
+        if self.decision == "query" and len(observed) == 1:
+            return observed[0]
+        return self._tree.predict(observed)
 
     @property
     def probes(self) -> Tuple[int, ...]:
@@ -203,7 +218,7 @@ class RandomAttacker(Attacker):
     def plan(self) -> Tuple[int, ...]:
         return ()
 
-    def decide(self, outcomes: Sequence[int]) -> int:
+    def decide(self, outcomes: Sequence[Optional[int]]) -> int:
         if outcomes:
             raise ValueError("random attacker sends no probes")
         if self.mode == "map":

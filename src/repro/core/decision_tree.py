@@ -16,7 +16,7 @@ observing real probe outcomes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.gain import Outcome
 from repro.core.inference import OutcomeTable, ReconInference
@@ -89,6 +89,37 @@ class DecisionTree:
         if leaf is None:
             return self._default_decision
         return leaf.decision
+
+    def predict_partial(self, outcome: Sequence[Optional[int]]) -> int:
+        """Classify an outcome vector with unobserved (``None``) bits.
+
+        Marginalises the missing bits: sums leaf mass over every leaf
+        whose outcome agrees with the observed bits, and answers with
+        the MAP of the aggregated posterior.  With no ``None`` bits this
+        reduces to :meth:`predict`; with *only* ``None`` bits (or when
+        no matching leaf carries mass) it falls back to the prior MAP
+        decision, same as an unmodelled outcome.
+        """
+        bits = list(outcome)
+        if len(bits) != len(self.probes):
+            raise ValueError(
+                f"expected {len(self.probes)} outcome bits, got {len(bits)}"
+            )
+        if all(bit is not None for bit in bits):
+            return self.predict([int(bit) for bit in bits if bit is not None])
+        present_mass = 0.0
+        total = 0.0
+        for leaf in self._leaves.values():
+            if any(
+                bit is not None and int(bit) != leaf_bit
+                for bit, leaf_bit in zip(bits, leaf.outcome)
+            ):
+                continue
+            present_mass += leaf.posterior_present * leaf.probability
+            total += leaf.probability
+        if total <= 0.0:
+            return self._default_decision
+        return 1 if present_mass / total > 0.5 else 0
 
     def expected_accuracy(self) -> float:
         """Model-predicted accuracy of the MAP decisions.

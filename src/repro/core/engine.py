@@ -92,6 +92,8 @@ class ScoringStats:
     sequences_scored: int = 0
     #: Stacked scoring blocks evaluated.
     batches: int = 0
+    #: Pool batches re-scored serially after a fork-pool failure.
+    pool_fallbacks: int = 0
     #: Parallelism the engine was configured with.
     n_jobs: int = 1
     #: Wall-clock seconds per stage (``score``, ``select``, ``total``).
@@ -110,6 +112,7 @@ class ScoringStats:
             ["prefix extensions", self.prefix_extensions],
             ["sequences scored", self.sequences_scored],
             ["scoring blocks", self.batches],
+            ["pool fallbacks", self.pool_fallbacks],
             ["n_jobs", self.n_jobs],
         ]
         for stage in sorted(self.wall_times):
@@ -316,26 +319,47 @@ class ProbeScoringEngine:
         return items
 
     def _map(self, items: Sequence[WorkItem]) -> List[np.ndarray]:
-        """Evaluate scoring blocks, serially or across the fork pool."""
+        """Evaluate scoring blocks, serially or across the fork pool.
+
+        If the pool fails mid-batch -- a worker dies, the fork fails,
+        or an exception escapes the map -- the whole batch is
+        re-scored serially in the parent (the serial path shares the
+        parent's prefix cache, so nothing is lost but time).  The
+        fallback is counted in ``stats.pool_fallbacks`` and the
+        ``engine.pool.fallbacks`` metric.
+        """
         jobs = min(self.n_jobs, len(items))
         context = _fork_context() if jobs > 1 else None
         if context is None:
-            return [
-                _score_block_impl(self.inference, prefix, flows)
-                for prefix, flows in items
-            ]
-        with context.Pool(
-            jobs,
-            initializer=_init_scoring_worker,
-            initargs=(self.inference,),
-        ) as pool:
-            results = pool.map(_scoring_work, items)
+            return self._map_serial(items)
+        try:
+            with context.Pool(
+                jobs,
+                initializer=_init_scoring_worker,
+                initargs=(self.inference,),
+            ) as pool:
+                results = pool.map(_scoring_work, items)
+        except Exception:
+            # Worker death surfaces as BrokenProcessPool / BrokenPipeError
+            # / the worker's own exception, depending on how it died.
+            # Scoring is pure, so re-running every block serially yields
+            # the identical gains the pool would have returned.
+            self.stats.pool_fallbacks += 1
+            self._obs.metrics.counter("engine.pool.fallbacks").inc()
+            return self._map_serial(items)
         for _, delta in results:
             for key, value in delta.items():
                 self._worker_deltas[key] = (
                     self._worker_deltas.get(key, 0) + value
                 )
         return [gains for gains, _ in results]
+
+    def _map_serial(self, items: Sequence[WorkItem]) -> List[np.ndarray]:
+        """Score every block in the parent process."""
+        return [
+            _score_block_impl(self.inference, prefix, flows)
+            for prefix, flows in items
+        ]
 
     def _refresh_counters(self) -> None:
         """Fold inference counters + worker deltas into the stats."""
@@ -596,9 +620,20 @@ def batched_conditional_gains(
                 for block in blocks
             ]
         )
-    with context.Pool(
-        min(n_jobs, len(blocks)),
-        initializer=_init_adaptive_worker,
-        initargs=(model, w_full, w_absent, mass, prior),
-    ) as pool:
-        return np.concatenate(pool.map(_adaptive_work, blocks))
+    try:
+        with context.Pool(
+            min(n_jobs, len(blocks)),
+            initializer=_init_adaptive_worker,
+            initargs=(model, w_full, w_absent, mass, prior),
+        ) as pool:
+            return np.concatenate(pool.map(_adaptive_work, blocks))
+    except Exception:
+        # Same contract as ProbeScoringEngine._map: scoring is pure, so
+        # a broken pool degrades to the identical serial computation.
+        get_instrumentation().metrics.counter("engine.pool.fallbacks").inc()
+        return np.concatenate(
+            [
+                _conditional_block(model, w_full, w_absent, mass, prior, block)
+                for block in blocks
+            ]
+        )

@@ -18,6 +18,7 @@ from repro.experiments.harness import ConfigHarness, ConfigResult
 from repro.experiments.trials import TrialResult, run_network_trial, run_table_trial
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.robustness import RobustnessResult, run_robustness
 from repro.experiments.tables import timing_table, statecount_report
 
 __all__ = [
@@ -31,6 +32,8 @@ __all__ = [
     "run_fig6",
     "Fig7Result",
     "run_fig7",
+    "RobustnessResult",
+    "run_robustness",
     "timing_table",
     "statecount_report",
 ]

@@ -26,6 +26,7 @@ from repro.core.inference import ReconInference
 from repro.core.recency import make_estimator
 from repro.deprecation import keyword_only
 from repro.experiments.params import ExperimentParams
+from repro.faults import FaultPlan
 from repro.experiments.trials import DefenseFactory, TrialResult, run_trial
 from repro.flows.config import ConfigGenerator, NetworkConfiguration
 from repro.obs import get_instrumentation
@@ -171,9 +172,20 @@ class ConfigHarness:
         attackers: Optional[Sequence[Attacker]] = None,
         keep_trials: bool = False,
         defense_factory: Optional[DefenseFactory] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        probe_retries: Optional[int] = None,
     ) -> ConfigResult:
-        """Run the trial loop and aggregate accuracies."""
+        """Run the trial loop and aggregate accuracies.
+
+        ``fault_plan`` / ``probe_retries`` override the values carried
+        by ``self.params`` (used by the robustness sweep to reuse one
+        set of screened harnesses across fault rates).
+        """
         n_trials = n_trials if n_trials is not None else self.params.n_trials
+        if fault_plan is None:
+            fault_plan = self.params.fault_plan
+        if probe_retries is None:
+            probe_retries = self.params.probe_retries
         lineup = tuple(attackers) if attackers is not None else self.attackers()
         correct = {attacker.name: 0 for attacker in lineup}
         kept: List[TrialResult] = []
@@ -194,6 +206,8 @@ class ConfigHarness:
                         mode=self.params.trial_mode,
                         latency=self.latency,
                         defense_factory=defense_factory,
+                        fault_plan=fault_plan,
+                        probe_retries=probe_retries,
                     )
                 trial_counter.inc()
                 for attacker in lineup:

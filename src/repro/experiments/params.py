@@ -18,6 +18,7 @@ import os
 from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
+from repro.faults import FaultPlan
 from repro.flows.config import ConfigParams
 
 
@@ -48,6 +49,12 @@ class ExperimentParams:
     #: Processes for the probe-scoring engine's candidate fan-out
     #: (1 = in-process; results are identical for every setting).
     selection_n_jobs: int = 1
+    #: Seeded fault injection applied to every trial (docs/FAULTS.md);
+    #: ``None`` (and an all-zero plan) leaves trials bit-identical to
+    #: the fault-free pipeline.
+    fault_plan: Optional[FaultPlan] = None
+    #: Probe retransmissions after an unanswered probe (``Prober``).
+    probe_retries: int = 0
 
     def __post_init__(self) -> None:
         if self.n_configs < 1 or self.n_trials < 1:
@@ -58,6 +65,8 @@ class ExperimentParams:
             raise ValueError("n_probes must be >= 1")
         if self.selection_n_jobs < 1:
             raise ValueError("selection_n_jobs must be >= 1")
+        if self.probe_retries < 0:
+            raise ValueError("probe_retries must be >= 0")
 
     def with_absence_range(
         self, low: float, high: float

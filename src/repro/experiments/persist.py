@@ -37,6 +37,7 @@ from repro.experiments.fig6 import Fig6Result
 from repro.experiments.fig7 import Fig7Result
 from repro.experiments.harness import ConfigResult
 from repro.experiments.params import ExperimentParams
+from repro.experiments.robustness import RobustnessResult
 from repro.version import __version__
 
 PathLike = Union[str, Path]
@@ -196,8 +197,37 @@ def fig7_to_document(
 
 
 @keyword_only
+def robustness_to_document(
+    result: RobustnessResult,
+    *,
+    params: Optional[ExperimentParams] = None,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """A plain-JSON :class:`ResultDocument` for a robustness sweep."""
+    return ResultDocument(
+        artifact="robustness",
+        metrics=result.summary(),
+        series={
+            "rates": list(result.rates),
+            "kinds": list(result.kinds),
+            "accuracy_series": result.accuracy_series(),
+            "faults_injected": result.faults_injected(),
+            "counters_per_rate": [
+                dict(c) for c in result.counters_per_rate
+            ],
+        },
+        configurations=[
+            [_config_row(r) for r in bucket]
+            for bucket in result.results_per_rate
+        ],
+        params=_params_dict(params),
+        provenance=_provenance(params, seed),
+    ).to_json()
+
+
+@keyword_only
 def save_result(
-    result: Union[Fig6Result, Fig7Result],
+    result: Union[Fig6Result, Fig7Result, RobustnessResult],
     path: PathLike,
     *,
     params: Optional[ExperimentParams] = None,
@@ -212,6 +242,8 @@ def save_result(
         document = fig6_to_document(result, params=params, seed=seed)
     elif isinstance(result, Fig7Result):
         document = fig7_to_document(result, params=params, seed=seed)
+    elif isinstance(result, RobustnessResult):
+        document = robustness_to_document(result, params=params, seed=seed)
     else:
         raise TypeError(f"unsupported result type: {type(result).__name__}")
     path = Path(path)

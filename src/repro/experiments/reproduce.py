@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Union
 
 from repro.deprecation import keyword_only
 from repro.experiments.fig6 import Fig6Result, run_fig6
+from repro.faults import FaultPlan
 from repro.experiments.fig7 import Fig7Result, run_fig7
 from repro.experiments.params import ExperimentParams
 from repro.obs import get_instrumentation
@@ -149,12 +150,17 @@ def reproduce_all(
     seed: Optional[int] = 2017,
     trial_mode: str = "table",
     timing_samples: int = 300,
+    fault_plan: Optional[FaultPlan] = None,
+    probe_retries: int = 0,
 ) -> ReproductionReport:
     """Regenerate every artifact at ``scale`` of the paper's size.
 
     ``scale=1.0`` is the paper's 100 configurations x 100 trials (hours
     on one core; the sampling screens dominate).  The default 0.1 keeps
-    the full reproduction under ~an hour.
+    the full reproduction under ~an hour.  ``fault_plan`` /
+    ``probe_retries`` thread seeded fault injection through every trial
+    (docs/FAULTS.md); the defaults reproduce the clean-channel paper
+    setting bit-for-bit.
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -163,6 +169,8 @@ def reproduce_all(
         n_trials=max(10, round(100 * scale)),
         seed=seed,
         trial_mode=trial_mode,
+        fault_plan=fault_plan,
+        probe_retries=probe_retries,
     )
     elapsed: Dict[str, float] = {}
     obs = get_instrumentation()

@@ -37,9 +37,11 @@ import numpy as np
 
 from repro.core.attacker import Attacker
 from repro.deprecation import keyword_only
+from repro.faults import FaultInjector, FaultPlan
 from repro.flows.arrival import Arrival, occurred_in_window, sample_schedule
 from repro.flows.config import NetworkConfiguration
 from repro.flows.rules import RuleTable
+from repro.obs import get_instrumentation
 from repro.simulator.flowtable import FlowTable
 from repro.simulator.network import Network
 from repro.simulator.probing import Prober
@@ -55,11 +57,15 @@ DefenseFactory = Callable[[], "Defense"]
 
 @dataclass(frozen=True)
 class TrialResult:
-    """Outcome of one trial: ground truth and per-attacker verdicts."""
+    """Outcome of one trial: ground truth and per-attacker verdicts.
+
+    ``outcomes`` entries may contain ``None`` bits: probes that went
+    unanswered under fault injection (docs/FAULTS.md).
+    """
 
     ground_truth: int
     decisions: Dict[str, int]
-    outcomes: Dict[str, Tuple[int, ...]]
+    outcomes: Dict[str, Tuple[Optional[int], ...]]
 
     def correct(self, attacker_name: str) -> bool:
         """Whether the named attacker judged the trial correctly."""
@@ -75,18 +81,43 @@ def _trial_schedule(
     )
 
 
+def _trial_injector(
+    fault_plan: Optional[FaultPlan], seed: int
+) -> Optional[FaultInjector]:
+    """A fresh injector for one trial, or ``None`` with faults off.
+
+    The fault stream is seeded from ``(plan.seed, trial seed)`` so that
+    faults differ across a harness's trials while any single trial
+    replays exactly.  Seeding from the plan alone would hand every
+    trial the same stream -- with one probe per trial, a reply-loss
+    rate below the stream's first draw would then *never* fire.
+    """
+    if fault_plan is None:
+        return None
+    return FaultInjector(
+        fault_plan, rng=np.random.default_rng([fault_plan.seed, seed])
+    )
+
+
 def run_network_trial(
     config: NetworkConfiguration,
     attackers: Sequence[Attacker],
     seed: int,
     latency: Optional[LatencyModel] = None,
     defense_factory: Optional[DefenseFactory] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    probe_retries: int = 0,
 ) -> TrialResult:
     """One packet-level trial.
 
     ``defense_factory``, when given, is called once per attacker replica
     to produce a fresh defense object attached to that network (defenses
-    carry per-network state).
+    carry per-network state).  ``fault_plan``, when given, attaches a
+    fresh :class:`~repro.faults.FaultInjector` to each replica, seeded
+    from ``(plan.seed, trial seed)``: every attacker in a trial faces
+    the same fault stream, a given trial replays exactly, and different
+    trials draw independent faults (a plan-seed-only injector would
+    repeat one identical fault pattern in every trial).
     """
     schedule = _trial_schedule(config, seed)
     truth = int(
@@ -95,7 +126,7 @@ def run_network_trial(
         )
     )
     decisions: Dict[str, int] = {}
-    outcomes: Dict[str, Tuple[int, ...]] = {}
+    outcomes: Dict[str, Tuple[Optional[int], ...]] = {}
     for attacker in attackers:
         probes = attacker.plan()
         if not probes:
@@ -103,6 +134,7 @@ def run_network_trial(
             outcomes[attacker.name] = ()
             continue
         defense = defense_factory() if defense_factory is not None else None
+        faults = _trial_injector(fault_plan, seed)
         network = Network(
             config.concrete_rules,
             config.universe,
@@ -110,10 +142,11 @@ def run_network_trial(
             latency=latency,
             rng=np.random.default_rng(seed + 1),
             defense=defense,
+            faults=faults,
         )
         network.schedule_arrivals(schedule)
         network.sim.run_until(config.window_seconds)
-        prober = Prober(network)
+        prober = Prober(network, retries=probe_retries)
         flows = [config.universe.flows[f] for f in probes]
         bits = tuple(prober.outcomes(flows))
         decisions[attacker.name] = attacker.decide(bits)
@@ -122,27 +155,70 @@ def run_network_trial(
 
 
 class _TableWorld:
-    """Minimal reactive-switch semantics over a bare flow table."""
+    """Minimal reactive-switch semantics over a bare flow table.
 
-    def __init__(self, config: NetworkConfiguration) -> None:
+    ``faults`` maps the loss kinds onto table semantics: packet-in loss
+    strands the miss (no install, no reply), flow-mod loss skips the
+    install but still replies (an observed miss), probe-reply loss
+    leaves the probe unobserved.  Controller jitter/outage faults are
+    no-ops here -- table mode has idealised timing, so there is no
+    latency for them to perturb.
+    """
+
+    def __init__(
+        self,
+        config: NetworkConfiguration,
+        faults: Optional[FaultInjector] = None,
+    ) -> None:
         self.config = config
         self.policy = RuleTable(config.concrete_rules)
         self.table = FlowTable(config.cache_size)
+        self.faults = faults
+        metrics = get_instrumentation().metrics
+        self._retry_counter = metrics.counter("attacker.probe.retries")
+        self._unobserved_counter = metrics.counter("attacker.probe.unobserved")
 
-    def arrival(self, flow_index: int, time: float) -> bool:
-        """Process one flow arrival; returns True on a cache hit."""
+    def _process(self, flow_index: int, time: float) -> Tuple[bool, bool]:
+        """One packet through the table: ``(cache_hit, reply_returns)``."""
         flow = self.config.universe.flows[flow_index]
         entry = self.table.lookup(flow, time)
         if entry is not None:
-            return True
+            return True, True
+        faults = self.faults
+        if faults is not None and faults.drop_packet_in():
+            # The miss notification is lost: no install, no packet-out.
+            return False, False
         rule = self.policy.highest_covering(flow)
-        if rule is not None:
+        if rule is not None and not (
+            faults is not None and faults.drop_flow_mod()
+        ):
             self.table.install(rule, out_port=0, now=time)
-        return False
+        return False, True
 
-    def probe(self, flow_index: int, time: float) -> int:
-        """Probe semantics: outcome bit plus the install perturbation."""
-        return 1 if self.arrival(flow_index, time) else 0
+    def arrival(self, flow_index: int, time: float) -> bool:
+        """Process one flow arrival; returns True on a cache hit."""
+        hit, _ = self._process(flow_index, time)
+        return hit
+
+    def probe(
+        self, flow_index: int, time: float, retries: int = 0
+    ) -> Optional[int]:
+        """Probe semantics: outcome bit plus the install perturbation.
+
+        Returns ``None`` when every attempt went unanswered (only
+        possible under fault injection).
+        """
+        faults = self.faults
+        for attempt in range(int(retries) + 1):
+            if attempt > 0:
+                self._retry_counter.inc()
+            hit, replied = self._process(flow_index, time)
+            if replied and not (
+                faults is not None and faults.drop_probe_reply()
+            ):
+                return int(hit)
+        self._unobserved_counter.inc()
+        return None
 
 
 def run_table_trial(
@@ -150,6 +226,8 @@ def run_table_trial(
     attackers: Sequence[Attacker],
     seed: int,
     probe_gap: float = 0.0005,
+    fault_plan: Optional[FaultPlan] = None,
+    probe_retries: int = 0,
 ) -> TrialResult:
     """One fast table-level trial (idealised timing, exact semantics)."""
     schedule = _trial_schedule(config, seed)
@@ -159,18 +237,23 @@ def run_table_trial(
         )
     )
     decisions: Dict[str, int] = {}
-    outcomes: Dict[str, Tuple[int, ...]] = {}
+    outcomes: Dict[str, Tuple[Optional[int], ...]] = {}
     for attacker in attackers:
         probes = attacker.plan()
         if not probes:
             decisions[attacker.name] = attacker.decide(())
             outcomes[attacker.name] = ()
             continue
-        world = _TableWorld(config)
+        faults = _trial_injector(fault_plan, seed)
+        world = _TableWorld(config, faults=faults)
         for arrival in schedule:
             world.arrival(arrival.flow_index, arrival.time)
         bits = tuple(
-            world.probe(flow, config.window_seconds + index * probe_gap)
+            world.probe(
+                flow,
+                config.window_seconds + index * probe_gap,
+                retries=probe_retries,
+            )
             for index, flow in enumerate(probes)
         )
         decisions[attacker.name] = attacker.decide(bits)
@@ -261,15 +344,21 @@ def run_trial(
     mode: str = "network",
     latency: Optional[LatencyModel] = None,
     defense_factory: Optional[DefenseFactory] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    probe_retries: int = 0,
 ) -> TrialResult:
     """Dispatch on trial mode."""
     if mode == "network":
         return run_network_trial(
             config, attackers, seed, latency=latency,
             defense_factory=defense_factory,
+            fault_plan=fault_plan, probe_retries=probe_retries,
         )
     if mode == "table":
         if defense_factory is not None:
             raise ValueError("defenses require network-mode trials")
-        return run_table_trial(config, attackers, seed)
+        return run_table_trial(
+            config, attackers, seed,
+            fault_plan=fault_plan, probe_retries=probe_retries,
+        )
     raise ValueError(f"unknown trial mode: {mode!r}")

@@ -1,0 +1,19 @@
+"""Seeded, deterministic fault injection for the simulated SDN.
+
+See docs/FAULTS.md.  The public surface is:
+
+* :class:`FaultPlan` -- declarative, validated fault configuration;
+* :class:`FaultInjector` -- runtime injector consulted by the
+  simulator's narrow injection points.
+"""
+
+from .injector import FAULT_KINDS, FaultInjector
+from .plan import RATE_FIELDS, SECONDS_FIELDS, FaultPlan
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "RATE_FIELDS",
+    "SECONDS_FIELDS",
+]

@@ -1,0 +1,156 @@
+"""The :class:`FaultPlan`: a declarative, seeded description of faults.
+
+The paper's evaluation assumes a clean control channel: every probe
+yields one hit/miss bit, every packet-in reaches the controller, every
+flow-mod lands.  Real SDN control channels are lossy and jittery
+(PAPERS.md: *I DPID It My Way!*, arXiv:2403.01878), so the production
+pipeline must keep working when the simulated network misbehaves.  A
+``FaultPlan`` pins down *which* faults occur and *how often*, plus the
+seed of the dedicated fault RNG, so any faulty run is exactly
+reproducible -- and an all-zero plan is behaviourally identical to no
+plan at all (the differential property ``tests/faults`` locks in).
+
+Fault kinds (all rates are per-event probabilities in ``[0, 1]``):
+
+* ``packet_in_loss`` -- a switch's miss notification never reaches the
+  controller; the buffered packet is stranded (probes time out).
+* ``flow_mod_loss`` -- the controller's rule installation is lost; the
+  buffered packet is still released (packet-out is a separate message).
+* ``probe_reply_loss`` -- the attacker fails to capture a probe's echo
+  reply; the probe ends unobserved.
+* ``controller_jitter`` -- mean of an exponential extra delay added to
+  every packet-in's processing time (seconds; 0 disables).
+* ``outage_rate`` / ``outage_duration`` -- per-packet-in probability of
+  the controller entering an outage burst of ``outage_duration``
+  simulated seconds during which packet-in handling stalls until the
+  outage ends.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Dict, Tuple
+
+#: Fault kinds whose value is a probability (validated into [0, 1]).
+RATE_FIELDS: Tuple[str, ...] = (
+    "packet_in_loss",
+    "flow_mod_loss",
+    "probe_reply_loss",
+    "outage_rate",
+)
+
+#: Fault kinds whose value is a duration/scale in seconds (>= 0).
+SECONDS_FIELDS: Tuple[str, ...] = ("controller_jitter", "outage_duration")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative fault configuration (all faults off by default)."""
+
+    packet_in_loss: float = 0.0
+    flow_mod_loss: float = 0.0
+    probe_reply_loss: float = 0.0
+    controller_jitter: float = 0.0
+    outage_rate: float = 0.0
+    outage_duration: float = 0.0
+    #: Seed of the dedicated fault RNG.  The injector never touches the
+    #: network's generator, so enabling faults does not perturb the
+    #: latency noise stream -- replicas stay comparable.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in RATE_FIELDS:
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        for name in SECONDS_FIELDS:
+            value = getattr(self, name)
+            if value < 0.0:
+                raise ValueError(f"{name} must be >= 0, got {value}")
+        if self.outage_rate > 0.0 and self.outage_duration <= 0.0:
+            raise ValueError("outage_rate > 0 requires outage_duration > 0")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can ever fire (an inactive plan is a no-op)."""
+        return any(
+            getattr(self, name) > 0.0
+            for name in RATE_FIELDS + ("controller_jitter",)
+        )
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The all-zero plan (behaviourally identical to no plan)."""
+        return cls()
+
+    def with_rate(self, kinds: Tuple[str, ...], rate: float) -> "FaultPlan":
+        """Copy with ``rate`` applied to each named loss kind."""
+        for kind in kinds:
+            if kind not in RATE_FIELDS:
+                raise ValueError(
+                    f"unknown loss kind {kind!r}; choose from {RATE_FIELDS}"
+                )
+        return replace(self, **{kind: rate for kind in kinds})
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a CLI spec: ``key=value,...`` pairs or ``@plan.json``.
+
+        Examples::
+
+            FaultPlan.parse("packet_in_loss=0.1,probe_reply_loss=0.05")
+            FaultPlan.parse("@faults.json")
+        """
+        spec = spec.strip()
+        if spec.startswith("@"):
+            payload = json.loads(Path(spec[1:]).read_text())
+            if not isinstance(payload, dict):
+                raise ValueError(f"{spec[1:]} must hold a JSON object")
+            return cls.from_dict(payload)
+        values: Dict[str, object] = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(
+                    f"bad fault-plan entry {part!r}; expected key=value"
+                )
+            key, _, raw = part.partition("=")
+            values[key.strip()] = raw.strip()
+        return cls.from_dict(values)
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, object]) -> "FaultPlan":
+        """Build a plan from a mapping, validating every key."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(values) - known
+        if unknown:
+            raise ValueError(
+                f"unknown fault-plan keys: {sorted(unknown)}; "
+                f"known keys: {sorted(known)}"
+            )
+        kwargs: Dict[str, object] = {}
+        for key, raw in values.items():
+            kwargs[key] = int(raw) if key == "seed" else float(raw)  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON mapping (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    def describe(self) -> str:
+        """Compact one-line rendering (for logs and reports)."""
+        parts = [
+            f"{f.name}={getattr(self, f.name):g}"
+            for f in fields(self)
+            if f.name != "seed" and getattr(self, f.name) > 0.0
+        ]
+        if not parts:
+            return "faults: none"
+        return f"faults: {', '.join(parts)} (seed={self.seed})"

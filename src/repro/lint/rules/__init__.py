@@ -6,6 +6,7 @@ from typing import Dict, List, Optional
 
 from repro.lint.base import LintRule
 from repro.lint.rules.determinism import SetIterationRule
+from repro.lint.rules.faults import InjectorRandomnessRule
 from repro.lint.rules.mutation import CachedArrayMutationRule
 from repro.lint.rules.obs import ObservabilityContextRule
 from repro.lint.rules.pyhygiene import PythonHygieneRule
@@ -20,6 +21,7 @@ ALL_RULES: List[LintRule] = [
     SetIterationRule(),
     PythonHygieneRule(),
     ObservabilityContextRule(),
+    InjectorRandomnessRule(),
 ]
 
 _BY_ID: Dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -33,6 +35,7 @@ def rule_by_id(rule_id: str) -> Optional[LintRule]:
 __all__ = [
     "ALL_RULES",
     "CachedArrayMutationRule",
+    "InjectorRandomnessRule",
     "ObservabilityContextRule",
     "PythonHygieneRule",
     "SetIterationRule",

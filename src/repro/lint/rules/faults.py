@@ -1,0 +1,177 @@
+"""FLT001 -- fault injectors must draw from an injected Generator.
+
+The fault layer's determinism contract (docs/FAULTS.md) is that a
+:class:`~repro.faults.FaultPlan`'s seed fully determines the injected
+faults, and that the fault stream is independent of the network RNG.
+Both break if an injector draws from a module-level RNG (the legacy
+``np.random.*`` global or the stdlib ``random`` module -- process-wide
+hidden state, shared across forks) or conjures a fresh generator on the
+hot path.
+
+The rule applies to any class whose name ends in ``Injector`` and
+flags, inside its methods:
+
+* any use of the legacy module-level ``np.random`` API (shares
+  :data:`~repro.lint.rules.rng.LEGACY_GLOBAL_API` with RNG001);
+* calls into the stdlib ``random`` module (``random.random()``, ...);
+* ``default_rng(...)`` calls **outside** ``__init__`` -- constructing a
+  generator per draw resets the stream; injectors must build their RNG
+  once at construction (from the plan's seed or an injected generator)
+  and draw from ``self.rng`` thereafter.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator, Set
+
+from repro.lint.base import AnyFunctionDef, LintRule, ModuleSource
+from repro.lint.findings import Finding
+from repro.lint.rules.rng import LEGACY_GLOBAL_API, _ImportAliases
+
+#: Stdlib ``random`` module functions backed by the hidden global.
+_STDLIB_RANDOM_API: FrozenSet[str] = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+        "weibullvariate",
+    }
+)
+
+
+class _StdlibRandomAliases(ast.NodeVisitor):
+    """Track names bound to the stdlib ``random`` module."""
+
+    def __init__(self) -> None:
+        self.random: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self.random.add(alias.asname or "random")
+
+
+class InjectorRandomnessRule(LintRule):
+    """FLT001: fault injectors must use their injected Generator."""
+
+    rule_id: ClassVar[str] = "FLT001"
+    summary: ClassVar[str] = (
+        "fault injectors must draw from an injected numpy Generator, "
+        "never module-level RNGs"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        np_aliases = _ImportAliases()
+        np_aliases.visit(module.tree)
+        std_aliases = _StdlibRandomAliases()
+        std_aliases.visit(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Injector"):
+                continue
+            yield from self._check_injector(
+                module, node, np_aliases, std_aliases
+            )
+
+    # ------------------------------------------------------------------
+    def _check_injector(
+        self,
+        module: ModuleSource,
+        cls: ast.ClassDef,
+        np_aliases: _ImportAliases,
+        std_aliases: _StdlibRandomAliases,
+    ) -> Iterator[Finding]:
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield from self._check_method(
+                module, cls, item, np_aliases, std_aliases
+            )
+
+    def _check_method(
+        self,
+        module: ModuleSource,
+        cls: ast.ClassDef,
+        method: AnyFunctionDef,
+        np_aliases: _ImportAliases,
+        std_aliases: _StdlibRandomAliases,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute):
+                if (
+                    node.attr in LEGACY_GLOBAL_API
+                    and self._is_numpy_random(node.value, np_aliases)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{cls.name}.{method.name} draws from the legacy "
+                        f"global np.random.{node.attr}; fault injectors "
+                        "must use their injected Generator (self.rng)",
+                    )
+                elif (
+                    node.attr in _STDLIB_RANDOM_API
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in std_aliases.random
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{cls.name}.{method.name} draws from the stdlib "
+                        f"random.{node.attr} global; fault injectors must "
+                        "use their injected Generator (self.rng)",
+                    )
+            elif (
+                isinstance(node, ast.Call)
+                and method.name != "__init__"
+                and self._is_default_rng(node.func, np_aliases)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{cls.name}.{method.name} constructs a fresh "
+                    "default_rng() per call; build the generator once in "
+                    "__init__ and draw from self.rng",
+                )
+
+    # ------------------------------------------------------------------
+    def _is_numpy_random(
+        self, node: ast.expr, aliases: _ImportAliases
+    ) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in aliases.numpy_random
+        if isinstance(node, ast.Attribute) and node.attr == "random":
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id in aliases.numpy
+            )
+        return False
+
+    def _is_default_rng(
+        self, func: ast.expr, aliases: _ImportAliases
+    ) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in aliases.default_rng
+        if isinstance(func, ast.Attribute) and func.attr == "default_rng":
+            return self._is_numpy_random(func.value, aliases)
+        return False

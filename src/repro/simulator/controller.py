@@ -55,6 +55,14 @@ class ReactiveController:
             rule = None
         processing = network.latency.controller_processing_delay(network.rng)
         down_link = network.latency.control_link_delay(network.rng)
+        if network.faults is not None:
+            # Injected controller jitter / outage stall (docs/FAULTS.md).
+            processing += network.faults.controller_extra_delay(network.sim.now)
+            if rule is not None and network.faults.drop_flow_mod():
+                # Injected flow-mod loss: the installation never lands,
+                # but the packet-out is a separate message and still
+                # releases the buffered packet (an observed miss).
+                rule = None
 
         if rule is None:
             self.stats["forward_only"] += 1

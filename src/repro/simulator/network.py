@@ -51,6 +51,7 @@ from repro.simulator.topology import stanford_backbone, validate_topology
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.countermeasures.base import Defense
+    from repro.faults import FaultInjector
     from repro.flows.arrival import Arrival
 
 #: Default RNG seed when neither ``rng`` nor ``seed`` is given, so bare
@@ -120,6 +121,7 @@ class Network:
         config: Optional[NetworkConfig] = None,
         defense: Optional["Defense"] = None,
         seed: Optional[int] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.config = config or NetworkConfig(cache_size=cache_size)
         if config is not None and config.cache_size != cache_size:
@@ -139,6 +141,11 @@ class Network:
         self.policy_rules = RuleTable(rules)
         self.defense = defense
         self.proactive_defense_active = False
+        # Optional fault injector (docs/FAULTS.md).  ``None`` (and an
+        # all-zero plan) leaves every code path byte-identical to the
+        # fault-free simulator -- the injector owns its own RNG and is
+        # only *consulted* at the narrow injection points.
+        self.faults = faults
 
         nodes = sorted(self.topology.nodes)
         self.ingress_name = self.config.ingress_switch or (
@@ -317,6 +324,11 @@ class Network:
         if packet.kind == ECHO_REPLY:
             self.stats["replies"] += 1
             if packet.probe_id is not None:
+                if self.faults is not None and self.faults.drop_probe_reply():
+                    # Injected capture loss: the reply arrives but the
+                    # attacker's sniffer misses it -- the probe stays
+                    # unobserved and times out.
+                    return
                 # The attacker shares the victim's segment (Section III):
                 # seeing the reply reach the spoofed source host closes
                 # the measurement.

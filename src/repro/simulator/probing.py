@@ -7,6 +7,12 @@ observed, and classifies the measured response time against the paper's
 1 ms threshold: fast means a covering rule was already cached
 (``Q_f = 1``), slow means the flow took the controller round trip
 (``Q_f = 0``).
+
+Probes can go unanswered -- the fault layer (docs/FAULTS.md) drops
+packet-ins and probe replies -- so a probe that times out surfaces as
+``ProbeResult.observed == False`` rather than crashing or silently
+counting as a miss.  With ``retries > 0`` the prober retransmits with
+capped exponential backoff before giving up.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.flows.flowid import FlowId
+from repro.obs import get_instrumentation
 from repro.simulator.network import Network
 from repro.simulator.timing import DEFAULT_THRESHOLD_SECONDS
 
@@ -30,6 +37,8 @@ class ProbeResult:
     send_time: float
     rtt: Optional[float]
     threshold: float
+    #: Number of transmissions (1 = answered first try or no retries).
+    attempts: int = 1
 
     @property
     def observed(self) -> bool:
@@ -47,12 +56,35 @@ class ProbeResult:
 
     @property
     def outcome(self) -> int:
-        """The hit bit as an integer (model convention)."""
+        """The hit bit as an integer (model convention).
+
+        Coerces an unobserved probe to a miss -- only use this when the
+        caller has already established ``observed``; otherwise prefer
+        :attr:`outcome_or_none`, which keeps the unobserved state.
+        """
         return 1 if self.hit else 0
+
+    @property
+    def outcome_or_none(self) -> Optional[int]:
+        """The hit bit, or ``None`` when the probe went unanswered."""
+        return None if self.rtt is None else self.outcome
 
 
 class Prober:
-    """Sequential probe measurement against a live network."""
+    """Sequential probe measurement against a live network.
+
+    Parameters
+    ----------
+    retries:
+        Extra transmissions after an unanswered probe before giving up
+        (default 0: one shot, exactly the pre-fault-layer behaviour).
+    backoff:
+        Multiplier applied to the timeout after every unanswered
+        attempt (capped at ``max_timeout``).
+    max_timeout:
+        Upper bound on the per-attempt timeout under backoff (default:
+        ``8 * timeout``).
+    """
 
     def __init__(
         self,
@@ -60,37 +92,83 @@ class Prober:
         threshold: float = DEFAULT_THRESHOLD_SECONDS,
         timeout: float = 0.25,
         gap: float = 0.0005,
+        retries: int = 0,
+        backoff: float = 2.0,
+        max_timeout: Optional[float] = None,
     ) -> None:
         if threshold <= 0 or timeout <= 0 or gap < 0:
             raise ValueError("threshold/timeout must be positive, gap >= 0")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {backoff}")
         self.network = network
         self.threshold = threshold
         self.timeout = timeout
         self.gap = gap
+        self.retries = int(retries)
+        self.backoff = backoff
+        self.max_timeout = 8.0 * timeout if max_timeout is None else max_timeout
+        if self.max_timeout < timeout:
+            raise ValueError("max_timeout must be >= timeout")
+        obs = get_instrumentation().metrics
+        self._obs_retries = obs.counter("attacker.probe.retries")
+        self._obs_unobserved = obs.counter("attacker.probe.unobserved")
+
+    def _await_reply(self, probe_id: int, deadline: float) -> Optional[float]:
+        """Step the simulator until the probe's reply or the deadline."""
+        network = self.network
+        sim = network.sim
+        while network.probe_observation(probe_id) is None:
+            next_time = sim.next_event_time
+            if next_time is None or next_time > deadline:
+                break
+            sim.step()
+        return network.probe_observation(probe_id)
 
     def measure(self, flow: FlowId) -> ProbeResult:
         """Send one probe and run the simulation until its reply.
 
         The simulator is advanced event by event, so the clock ends at
         the observation time (not the deadline) and back-to-back probes
-        stay tightly spaced, like a real attacker's.
+        stay tightly spaced, like a real attacker's.  Unanswered probes
+        are retransmitted up to ``retries`` times with the timeout
+        growing by ``backoff`` per attempt (capped at ``max_timeout``);
+        only then does the clock advance to the attempt's deadline, so
+        the zero-retry path is identical to the historical one.
         """
-        network = self.network
-        sim = network.sim
-        probe_id = next(_probe_ids)
-        send_time = sim.now
-        network.send_probe(flow, probe_id)
-        deadline = send_time + self.timeout
-        while network.probe_observation(probe_id) is None:
-            next_time = sim.next_event_time
-            if next_time is None or next_time > deadline:
-                break
-            sim.step()
-        observed = network.probe_observation(probe_id)
-        rtt = None if observed is None else observed - send_time
-        return ProbeResult(
-            flow=flow, send_time=send_time, rtt=rtt, threshold=self.threshold
-        )
+        sim = self.network.sim
+        timeout = self.timeout
+        attempts = 0
+        while True:
+            attempts += 1
+            probe_id = next(_probe_ids)
+            send_time = sim.now
+            self.network.send_probe(flow, probe_id)
+            observed = self._await_reply(probe_id, send_time + timeout)
+            if observed is not None:
+                return ProbeResult(
+                    flow=flow,
+                    send_time=send_time,
+                    rtt=observed - send_time,
+                    threshold=self.threshold,
+                    attempts=attempts,
+                )
+            if attempts > self.retries:
+                self._obs_unobserved.inc()
+                return ProbeResult(
+                    flow=flow,
+                    send_time=send_time,
+                    rtt=None,
+                    threshold=self.threshold,
+                    attempts=attempts,
+                )
+            # Retransmit: wait out the rest of this attempt's timeout
+            # window (a real attacker's timer fires at the deadline),
+            # then back off.
+            self._obs_retries.inc()
+            sim.run_until(send_time + timeout)
+            timeout = min(timeout * self.backoff, self.max_timeout)
 
     def measure_flows(self, flows: Sequence[FlowId]) -> List[ProbeResult]:
         """Measure several probes back to back with a small gap."""
@@ -101,6 +179,13 @@ class Prober:
             results.append(self.measure(flow))
         return results
 
-    def outcomes(self, flows: Sequence[FlowId]) -> List[int]:
-        """Hit bits for a probe sequence (the ``Q`` vector)."""
-        return [result.outcome for result in self.measure_flows(flows)]
+    def outcomes(self, flows: Sequence[FlowId]) -> List[Optional[int]]:
+        """Hit bits for a probe sequence (the ``Q`` vector).
+
+        Unobserved probes yield ``None`` -- they are **not** coerced to
+        a miss; downstream deciders marginalise the missing bit (see
+        ``Attacker.decide``).
+        """
+        return [
+            result.outcome_or_none for result in self.measure_flows(flows)
+        ]

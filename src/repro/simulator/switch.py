@@ -118,6 +118,12 @@ class Switch:
         self.stats["packet_ins"] += 1
         self._obs_packet_ins.inc()
         self._pending[packet.packet_id] = packet
+        if network.faults is not None and network.faults.drop_packet_in():
+            # Injected control-channel loss: the miss notification never
+            # reaches the controller.  The packet stays buffered (as on a
+            # real switch until the buffer ages out), so the flow is
+            # neither installed nor released -- probes for it time out.
+            return
         message = PacketIn(switch_name=self.name, packet=packet, in_port=in_port)
         delay = network.latency.control_link_delay(network.rng)
         network.sim.schedule(

@@ -1,0 +1,98 @@
+"""Marginalising unobserved probe bits: tree + attacker behaviour.
+
+The fault layer can leave probe bits unanswered (``None``).  The model
+attacker must marginalise those bits over the decision tree's leaf
+masses -- not crash, and not silently treat them as misses.
+"""
+
+import pytest
+
+from repro.core.attacker import ModelAttacker, NaiveAttacker
+from repro.core.compact_model import CompactModel
+from repro.core.decision_tree import DecisionTree
+from repro.core.inference import OutcomeTable, ReconInference
+
+from tests.conftest import make_policy, make_universe
+
+
+def synthetic_table():
+    # P(present | 00) = 0.1, P(present | 01) = 0.75, P(present | 11) = 0.9.
+    return OutcomeTable(
+        probes=(0, 1),
+        outcome_probs={(0, 0): 0.5, (0, 1): 0.2, (1, 1): 0.3},
+        joint_absent={(0, 0): 0.45, (0, 1): 0.05, (1, 1): 0.03},
+    )
+
+
+@pytest.fixture
+def inference():
+    policy = make_policy([({0}, 4), ({0, 1}, 6), ({2}, 5)])
+    universe = make_universe([0.3, 0.4, 0.5, 0.2])
+    model = CompactModel(policy, universe, 0.25, cache_size=2)
+    return ReconInference(model, target_flow=0, window_steps=30)
+
+
+class TestPredictPartial:
+    def test_no_nones_reduces_to_predict(self):
+        tree = DecisionTree(synthetic_table())
+        for outcome in [(0, 0), (0, 1), (1, 1), (1, 0)]:
+            assert tree.predict_partial(outcome) == tree.predict(outcome)
+
+    def test_marginalises_leading_none(self):
+        tree = DecisionTree(synthetic_table())
+        # P(present | Q2=1) = (0.2*0.75 + 0.3*0.9) / 0.5 = 0.84 -> 1.
+        assert tree.predict_partial((None, 1)) == 1
+        # P(present | Q2=0) = 0.5*0.1 / 0.5 = 0.1 -> 0.
+        assert tree.predict_partial((None, 0)) == 0
+
+    def test_marginalises_trailing_none(self):
+        tree = DecisionTree(synthetic_table())
+        # P(present | Q1=0) = (0.5*0.1 + 0.2*0.75) / 0.7 ~= 0.286 -> 0.
+        assert tree.predict_partial((0, None)) == 0
+        # P(present | Q1=1) = 0.3*0.9 / 0.3 = 0.9 -> 1.
+        assert tree.predict_partial((1, None)) == 1
+
+    def test_all_none_is_prior_map(self):
+        tree = DecisionTree(synthetic_table())
+        # Overall P(present) = 0.47 < 0.5 -> the prior MAP decision.
+        assert tree.predict_partial((None, None)) == 0
+
+    def test_wrong_length_rejected(self):
+        tree = DecisionTree(synthetic_table())
+        with pytest.raises(ValueError, match="outcome bits"):
+            tree.predict_partial((None,))
+
+
+class TestAttackerDecide:
+    def test_naive_answers_absent_on_unobserved(self):
+        attacker = NaiveAttacker(target_flow=0)
+        assert attacker.decide((None,)) == 0
+        assert attacker.decide((1,)) == 1
+
+    def test_model_attacker_marginalises_none(self, inference):
+        attacker = ModelAttacker(inference, n_probes=2, decision="map")
+        # Any None routes through predict_partial; the verdict must be a
+        # valid bit and agree with the tree's own marginalisation.
+        for outcomes in [(None, 0), (None, 1), (0, None), (None, None)]:
+            verdict = attacker.decide(outcomes)
+            assert verdict == attacker._tree.predict_partial(outcomes)
+            assert verdict in (0, 1)
+
+    def test_model_attacker_observed_path_unchanged(self, inference):
+        attacker = ModelAttacker(inference, n_probes=1, decision="query")
+        assert attacker.decide((1,)) == 1
+        assert attacker.decide((0,)) == 0
+
+    def test_single_probe_none_uses_tree_not_query(self, inference):
+        attacker = ModelAttacker(inference, n_probes=1, decision="query")
+        # The query rule can't answer an unanswered probe; the verdict
+        # falls back to the tree's marginalisation (here: all bits
+        # unknown -> the prior MAP decision).
+        assert attacker.decide((None,)) == attacker._tree.predict_partial(
+            (None,)
+        )
+
+    def test_length_still_validated(self, inference):
+        attacker = ModelAttacker(inference, n_probes=1)
+        with pytest.raises(ValueError, match="expected 1 outcomes"):
+            attacker.decide((None, None))

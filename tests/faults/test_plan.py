@@ -1,0 +1,116 @@
+"""Tests for the declarative :class:`FaultPlan`."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan, RATE_FIELDS, SECONDS_FIELDS
+
+
+class TestValidation:
+    def test_defaults_are_all_zero_and_inactive(self):
+        plan = FaultPlan()
+        for name in RATE_FIELDS + SECONDS_FIELDS:
+            assert getattr(plan, name) == 0.0
+        assert plan.seed == 0
+        assert not plan.active
+
+    @pytest.mark.parametrize("name", RATE_FIELDS)
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_must_be_probabilities(self, name, bad):
+        kwargs = {name: bad}
+        if name == "outage_rate" and 0.0 < bad <= 1.0:
+            kwargs["outage_duration"] = 1.0
+        with pytest.raises(ValueError, match=name):
+            FaultPlan(**kwargs)
+
+    @pytest.mark.parametrize("name", SECONDS_FIELDS)
+    def test_seconds_must_be_non_negative(self, name):
+        with pytest.raises(ValueError, match=name):
+            FaultPlan(**{name: -1.0})
+
+    def test_outage_rate_requires_duration(self):
+        with pytest.raises(ValueError, match="outage_duration"):
+            FaultPlan(outage_rate=0.5)
+        FaultPlan(outage_rate=0.5, outage_duration=2.0)  # fine
+
+    @pytest.mark.parametrize("name", RATE_FIELDS)
+    def test_any_positive_rate_activates(self, name):
+        kwargs = {name: 0.1}
+        if name == "outage_rate":
+            kwargs["outage_duration"] = 1.0
+        assert FaultPlan(**kwargs).active
+
+    def test_jitter_activates(self):
+        assert FaultPlan(controller_jitter=0.001).active
+
+    def test_none_equals_default(self):
+        assert FaultPlan.none() == FaultPlan()
+
+
+class TestWithRate:
+    def test_applies_rate_to_each_kind(self):
+        plan = FaultPlan().with_rate(("packet_in_loss", "probe_reply_loss"), 0.2)
+        assert plan.packet_in_loss == 0.2
+        assert plan.probe_reply_loss == 0.2
+        assert plan.flow_mod_loss == 0.0
+
+    def test_preserves_other_fields(self):
+        base = FaultPlan(controller_jitter=0.01, seed=7)
+        plan = base.with_rate(("flow_mod_loss",), 0.5)
+        assert plan.controller_jitter == 0.01
+        assert plan.seed == 7
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown loss kind"):
+            FaultPlan().with_rate(("controller_jitter",), 0.1)
+
+
+class TestParse:
+    def test_key_value_pairs(self):
+        plan = FaultPlan.parse("packet_in_loss=0.1, probe_reply_loss=0.05, seed=9")
+        assert plan.packet_in_loss == 0.1
+        assert plan.probe_reply_loss == 0.05
+        assert plan.seed == 9
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"flow_mod_loss": 0.3, "seed": 4}))
+        plan = FaultPlan.parse(f"@{path}")
+        assert plan.flow_mod_loss == 0.3
+        assert plan.seed == 4
+
+    def test_json_file_must_hold_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            FaultPlan.parse(f"@{path}")
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ValueError, match="key=value"):
+            FaultPlan.parse("packet_in_loss")
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault-plan keys"):
+            FaultPlan.parse("packet_loss=0.1")
+
+    def test_roundtrip_through_dict(self):
+        plan = FaultPlan(
+            packet_in_loss=0.1,
+            controller_jitter=0.002,
+            outage_rate=0.05,
+            outage_duration=1.5,
+            seed=42,
+        )
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestDescribe:
+    def test_inactive_plan(self):
+        assert FaultPlan().describe() == "faults: none"
+
+    def test_active_plan_lists_nonzero_fields(self):
+        text = FaultPlan(packet_in_loss=0.25, seed=3).describe()
+        assert "packet_in_loss=0.25" in text
+        assert "seed=3" in text
+        assert "flow_mod_loss" not in text

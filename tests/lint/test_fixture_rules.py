@@ -44,6 +44,7 @@ FIXTURE_CASES = [
     ("det_violations.py", "DET001", 5),
     ("py_violations.py", "PY001", 6),
     ("obs_violations.py", "OBS001", 4),
+    ("flt_violations.py", "FLT001", 5),
 ]
 
 
