@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full demo examples check lint stats faults-smoke coverage clean
+.PHONY: install test test-fast bench bench-full demo examples check lint stats faults-smoke parallel-smoke coverage clean
 
 install:
 	pip install -e .
@@ -59,6 +59,26 @@ faults-smoke:
 		--configs 2 --trials 6 --mode table --rates 0,0.3 \
 		--probe-retries 1 --seed 5 \
 		--metrics /tmp/repro-faults-metrics.json
+
+# Parallel-execution smoke (EXPERIMENTS.md "Parallel execution"): the
+# same tiny headline experiment serial and with --trial-jobs 2 must
+# produce identical result documents -- only the recorded fan-out
+# settings (params.trial_jobs, provenance) may differ.  Exercises both
+# fan-out grains (config screening + trials) through the real CLI.
+parallel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli headline \
+		--configs 1 --trials 6 --seed 12 --mode table \
+		--out /tmp/repro-parallel-serial.json
+	PYTHONPATH=src $(PYTHON) -m repro.cli headline \
+		--configs 1 --trials 6 --seed 12 --mode table \
+		--trial-jobs 2 --out /tmp/repro-parallel-jobs2.json
+	@$(PYTHON) -c "import json; \
+		docs = [json.load(open(p)) for p in \
+			('/tmp/repro-parallel-serial.json', '/tmp/repro-parallel-jobs2.json')]; \
+		[d.pop('provenance', None) for d in docs]; \
+		[d['params'].pop('trial_jobs', None) for d in docs]; \
+		assert docs[0] == docs[1], 'parallel run diverged from serial'; \
+		print('parallel-smoke: serial and --trial-jobs 2 documents identical')"
 
 # Coverage gate (CI runs this with pytest-cov installed; locally it is
 # skipped with a notice when pytest-cov is absent, like ruff/mypy in

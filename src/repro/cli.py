@@ -56,6 +56,7 @@ def add_common_args(
     mode: bool = False,
     mode_default: str = "network",
     faults: bool = False,
+    trial_jobs: bool = False,
 ) -> None:
     """Attach the flags shared across subcommands.
 
@@ -63,9 +64,11 @@ def add_common_args(
     fallback (documented in the help text) is applied by
     :func:`_resolved_seed`, so explicit seeds behave identically
     everywhere.  ``experiment`` adds the ``--configs/--trials/--mode/
-    --out`` block of the figure pipelines (plus the fault flags);
-    ``jobs`` adds ``--jobs`` (``--n-jobs`` is kept as a deprecated
-    alias); ``faults`` adds ``--fault-plan``/``--probe-retries``
+    --out`` block of the figure pipelines (plus the fault flags and
+    ``--trial-jobs``); ``jobs`` adds ``--jobs`` (``--n-jobs`` is kept
+    as a deprecated alias); ``trial_jobs`` adds ``--trial-jobs`` (the
+    experiment layer's deterministic fan-out, EXPERIMENTS.md);
+    ``faults`` adds ``--fault-plan``/``--probe-retries``
     (docs/FAULTS.md).  ``--trace`` and ``--metrics`` are attached
     unconditionally: observability is available on every subcommand.
     """
@@ -88,6 +91,7 @@ def add_common_args(
         mode = True
         out = True
         faults = True
+        trial_jobs = True
     if faults:
         parser.add_argument(
             "--fault-plan", type=str, default=None, metavar="SPEC",
@@ -117,6 +121,15 @@ def add_common_args(
         parser.add_argument(
             "--jobs", "--n-jobs", dest="jobs", type=int, default=1,
             help="worker processes for probe scoring (1 = in-process)",
+        )
+    if trial_jobs:
+        parser.add_argument(
+            "--trial-jobs", dest="trial_jobs", type=int, default=1,
+            metavar="N",
+            help=(
+                "worker processes for the trial/config fan-out; results "
+                "are bit-identical for every N (1 = serial loops)"
+            ),
         )
     parser.add_argument(
         "--trace", type=str, default=None, metavar="PATH",
@@ -154,6 +167,7 @@ def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
         selection_n_jobs=getattr(args, "jobs", 1),
         fault_plan=_fault_plan(args),
         probe_retries=getattr(args, "probe_retries", 0),
+        trial_jobs=getattr(args, "trial_jobs", 1),
     )
 
 
@@ -170,6 +184,23 @@ def _maybe_save(
             result, path, params=params, seed=_resolved_seed(args)
         )
         print(f"saved run to {saved}")
+
+
+def _print_execution(result: object) -> None:
+    """Print the fan-out accounting table for a parallel run."""
+    execution = getattr(result, "execution", None)
+    if execution is None or execution.n_jobs <= 1:
+        return
+    from repro.experiments.report import format_table
+
+    print()
+    print(
+        format_table(
+            ["counter", "value"],
+            execution.rows(),
+            title="Parallel execution statistics",
+        )
+    )
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -211,6 +242,7 @@ def _cmd_fig6(args: argparse.Namespace, which: str) -> int:
             title="Headline statistics",
         )
     )
+    _print_execution(result)
     return 0
 
 
@@ -252,6 +284,7 @@ def _cmd_fig7(args: argparse.Namespace, which: str) -> int:
             title="Summary",
         )
     )
+    _print_execution(result)
     return 0
 
 
@@ -409,6 +442,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         trial_mode=args.mode,
         fault_plan=_fault_plan(args),
         probe_retries=getattr(args, "probe_retries", 0),
+        trial_jobs=getattr(args, "trial_jobs", 1),
     )
     print(report.render())
     if args.out:
@@ -457,6 +491,7 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
             title="Robustness summary",
         )
     )
+    _print_execution(result)
     return 0
 
 
@@ -628,7 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common_args(
         reproduce, seed_fallback=2017, mode=True, mode_default="table",
-        out=True, faults=True,
+        out=True, faults=True, trial_jobs=True,
     )
     reproduce.set_defaults(func=_cmd_reproduce)
 

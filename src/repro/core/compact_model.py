@@ -106,6 +106,8 @@ class CompactModel:
         ] = None
         self._coverage_cache: Dict[int, np.ndarray] = {}
         self._probe_matrix_cache: Dict[int, sparse.csr_matrix] = {}
+        self._membership_matrix: Optional[np.ndarray] = None
+        self._state_popcounts: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Public conveniences
@@ -135,20 +137,51 @@ class CompactModel:
     # ------------------------------------------------------------------
     # Vectorised probe views (the probe-scoring engine's primitives)
     # ------------------------------------------------------------------
+    def state_membership_matrix(self) -> np.ndarray:
+        """0/1 matrix ``M[j, i] = 1`` iff rule ``j`` is cached in state ``i``.
+
+        Built once by a single pass over the state list, then every
+        state marginal (coverage vectors, rule-presence marginals) is a
+        row reduction or matrix product over it instead of a pure-Python
+        loop.  Frozen: the matrix is aliased to every caller (runtime
+        complement of lint rule MUT001).
+        """
+        cached = self._membership_matrix
+        if cached is None:
+            cached = np.zeros(
+                (self.context.n_rules, self.n_states), dtype=np.float64
+            )
+            for index, state in enumerate(self.states):
+                for rule in indices_from_mask(state):
+                    cached[rule, index] = 1.0
+            cached.setflags(write=False)
+            self._membership_matrix = cached
+        return cached
+
+    def state_popcounts(self) -> np.ndarray:
+        """Cached-rule count of every state, as a frozen int vector."""
+        cached = self._state_popcounts
+        if cached is None:
+            cached = np.fromiter(
+                (popcount(state) for state in self.states),
+                dtype=np.int64,
+                count=self.n_states,
+            )
+            cached.setflags(write=False)
+            self._state_popcounts = cached
+        return cached
+
     def coverage_vector(self, flow: int) -> np.ndarray:
         """0/1 vector over states: 1 where a probe of ``flow`` hits."""
         flow = int(flow)
         cached = self._coverage_cache.get(flow)
         if cached is None:
-            ctx = self.context
-            cached = np.fromiter(
-                (
-                    1.0 if ctx.state_covers(flow, state) else 0.0
-                    for state in self.states
-                ),
-                dtype=np.float64,
-                count=self.n_states,
-            )
+            covering = self.context.covering[flow]
+            if covering:
+                membership = self.state_membership_matrix()
+                cached = membership[list(covering)].max(axis=0)
+            else:
+                cached = np.zeros(self.n_states, dtype=np.float64)
             # Frozen: the cached vector is aliased to every caller
             # (runtime complement of lint rule MUT001).
             cached.setflags(write=False)
@@ -406,18 +439,17 @@ class CompactModel:
 
     def rule_presence_marginals(self, distribution: np.ndarray) -> np.ndarray:
         """``P(rule_j in cache)`` for each rule, under a state distribution."""
-        marginals = np.zeros(self.context.n_rules)
-        for index, state in enumerate(self.states):
-            weight = float(distribution[index])
-            if weight <= 0.0:
-                continue
-            for rule in indices_from_mask(state):
-                marginals[rule] += weight
-        return marginals
+        membership = self.state_membership_matrix()
+        return membership @ np.asarray(distribution, dtype=np.float64)
 
     def occupancy_distribution(self, distribution: np.ndarray) -> np.ndarray:
-        """Distribution of the number of cached rules."""
-        occupancy = np.zeros(self.context.cache_size + 1)
-        for index, state in enumerate(self.states):
-            occupancy[popcount(state)] += float(distribution[index])
-        return occupancy
+        """Distribution of the number of cached rules.
+
+        ``bincount`` accumulates the weights in state order, so the
+        result is bit-identical to the original per-state loop.
+        """
+        return np.bincount(
+            self.state_popcounts(),
+            weights=np.asarray(distribution, dtype=np.float64),
+            minlength=self.context.cache_size + 1,
+        )

@@ -30,6 +30,7 @@ from repro.experiments.harness import (
     ConfigResult,
     sample_screened_harnesses,
 )
+from repro.experiments.parallel import ExecutionStats
 from repro.experiments.params import VIABLE_FIG6_BINS, ExperimentParams
 from repro.obs import get_instrumentation
 
@@ -40,6 +41,8 @@ class Fig6Result:
 
     bins: Tuple[Tuple[float, float], ...]
     results_per_bin: List[List[ConfigResult]] = field(repr=False)
+    #: Fan-out accounting for the run (None on pre-parallel results).
+    execution: Optional[ExecutionStats] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Figure 6a
@@ -121,6 +124,7 @@ def run_fig6(
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []
     obs = get_instrumentation()
+    execution = ExecutionStats(n_jobs=params.trial_jobs)
     for low, high in bins:
         bin_params = params.with_absence_range(low, high)
         with obs.span("experiment.fig6.bin", low=low, high=high):
@@ -129,7 +133,11 @@ def run_fig6(
                 per_bin,
                 require_optimal_differs=True,
                 max_attempts_factor=max_attempts_factor,
+                execution=execution,
             )
-            bucket = [harness.run_trials() for harness in harnesses]
+            bucket = [
+                harness.run_trials(execution=execution)
+                for harness in harnesses
+            ]
         results.append(bucket)
-    return Fig6Result(bins=bins, results_per_bin=results)
+    return Fig6Result(bins=bins, results_per_bin=results, execution=execution)

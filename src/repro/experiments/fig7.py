@@ -24,6 +24,7 @@ from repro.experiments.harness import (
     ConfigResult,
     sample_screened_harnesses,
 )
+from repro.experiments.parallel import ExecutionStats
 from repro.experiments.params import VIABLE_FIG7_BINS, ExperimentParams
 from repro.obs import get_instrumentation
 
@@ -37,6 +38,8 @@ class Fig7Result:
 
     bins: Tuple[Tuple[float, float], ...]
     results_per_bin: List[List[ConfigResult]] = field(repr=False)
+    #: Fan-out accounting for the run (None on pre-parallel results).
+    execution: Optional[ExecutionStats] = field(default=None, repr=False)
 
     def _all_results(self) -> List[ConfigResult]:
         return [r for bucket in self.results_per_bin for r in bucket]
@@ -138,6 +141,7 @@ def run_fig7(
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []
     obs = get_instrumentation()
+    execution = ExecutionStats(n_jobs=params.trial_jobs)
     for low, high in bins:
         bin_params = params.with_absence_range(low, high)
         with obs.span("experiment.fig7.bin", low=low, high=high):
@@ -146,7 +150,11 @@ def run_fig7(
                 per_bin,
                 require_optimal_differs=False,
                 max_attempts_factor=max_attempts_factor,
+                execution=execution,
             )
-            bucket = [harness.run_trials() for harness in harnesses]
+            bucket = [
+                harness.run_trials(execution=execution)
+                for harness in harnesses
+            ]
         results.append(bucket)
-    return Fig7Result(bins=bins, results_per_bin=results)
+    return Fig7Result(bins=bins, results_per_bin=results, execution=execution)

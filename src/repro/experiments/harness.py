@@ -27,6 +27,12 @@ from repro.core.recency import make_estimator
 from repro.deprecation import keyword_only
 from repro.experiments.params import ExperimentParams
 from repro.faults import FaultPlan
+from repro.experiments.parallel import (
+    ExecutionStats,
+    plan_trials,
+    run_planned_trials,
+    screen_accepted_configs,
+)
 from repro.experiments.trials import DefenseFactory, TrialResult, run_trial
 from repro.flows.config import ConfigGenerator, NetworkConfiguration
 from repro.obs import get_instrumentation
@@ -174,47 +180,89 @@ class ConfigHarness:
         defense_factory: Optional[DefenseFactory] = None,
         fault_plan: Optional[FaultPlan] = None,
         probe_retries: Optional[int] = None,
+        trial_jobs: Optional[int] = None,
+        execution: Optional[ExecutionStats] = None,
     ) -> ConfigResult:
         """Run the trial loop and aggregate accuracies.
 
         ``fault_plan`` / ``probe_retries`` override the values carried
         by ``self.params`` (used by the robustness sweep to reuse one
-        set of screened harnesses across fault rates).
+        set of screened harnesses across fault rates).  ``trial_jobs``
+        overrides ``params.trial_jobs``; any value > 1 fans the trials
+        out across a fork pool with bit-identical results
+        (repro.experiments.parallel).
         """
         n_trials = n_trials if n_trials is not None else self.params.n_trials
         if fault_plan is None:
             fault_plan = self.params.fault_plan
         if probe_retries is None:
             probe_retries = self.params.probe_retries
+        if trial_jobs is None:
+            trial_jobs = self.params.trial_jobs
         lineup = tuple(attackers) if attackers is not None else self.attackers()
-        correct = {attacker.name: 0 for attacker in lineup}
+        names = [attacker.name for attacker in lineup]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise ValueError(
+                "duplicate attacker name(s) in lineup: "
+                + ", ".join(duplicates)
+            )
+        correct = {name: 0 for name in names}
         kept: List[TrialResult] = []
         obs = self._obs
         trial_counter = obs.metrics.counter("experiment.trials")
         with obs.phase("harness.trials"):
-            for index in range(n_trials):
-                seed = int(self.rng.integers(2**63 - 1))
+            if trial_jobs > 1:
                 with obs.span(
-                    "experiment.trial",
-                    trial=index,
+                    "experiment.trial_batch",
+                    trials=n_trials,
+                    jobs=trial_jobs,
                     mode=self.params.trial_mode,
                 ):
-                    trial = run_trial(
+                    plans = plan_trials(self.rng, lineup, n_trials)
+                    results = run_planned_trials(
                         self.config,
                         lineup,
-                        seed,
+                        plans,
+                        n_jobs=trial_jobs,
                         mode=self.params.trial_mode,
                         latency=self.latency,
                         defense_factory=defense_factory,
                         fault_plan=fault_plan,
                         probe_retries=probe_retries,
+                        execution=execution,
                     )
-                trial_counter.inc()
-                for attacker in lineup:
-                    if trial.correct(attacker.name):
-                        correct[attacker.name] += 1
+                trial_counter.inc(n_trials)
+                for trial in results:
+                    for name in names:
+                        if trial.correct(name):
+                            correct[name] += 1
                 if keep_trials:
-                    kept.append(trial)
+                    kept.extend(results)
+            else:
+                for index in range(n_trials):
+                    seed = int(self.rng.integers(2**63 - 1))
+                    with obs.span(
+                        "experiment.trial",
+                        trial=index,
+                        mode=self.params.trial_mode,
+                    ):
+                        trial = run_trial(
+                            self.config,
+                            lineup,
+                            seed,
+                            mode=self.params.trial_mode,
+                            latency=self.latency,
+                            defense_factory=defense_factory,
+                            fault_plan=fault_plan,
+                            probe_retries=probe_retries,
+                        )
+                    trial_counter.inc()
+                    for name in names:
+                        if trial.correct(name):
+                            correct[name] += 1
+                    if keep_trials:
+                        kept.append(trial)
         accuracies = {
             name: count / n_trials for name, count in correct.items()
         }
@@ -245,6 +293,8 @@ def sample_screened_harnesses(
     require_optimal_differs: bool = False,
     max_attempts_factor: int = 40,
     generator: Optional[ConfigGenerator] = None,
+    trial_jobs: Optional[int] = None,
+    execution: Optional[ExecutionStats] = None,
 ) -> List[ConfigHarness]:
     """Sample configurations until ``n_configs`` pass the screens.
 
@@ -253,8 +303,32 @@ def sample_screened_harnesses(
     (``screen=True`` in params), optionally also requiring the
     model-optimal probe to differ from the target (Figure 6's case
     split).  Raises ``RuntimeError`` if the acceptance rate is too low.
+
+    With ``trial_jobs`` (or ``params.trial_jobs``) > 1 the candidate
+    screening fans out across a fork pool; the accepted configurations,
+    the generator's post-call state, and the exhaustion error are all
+    identical to the serial loop (repro.experiments.parallel).
     """
     generator = generator or ConfigGenerator(params.config, seed=params.seed)
+    if trial_jobs is None:
+        trial_jobs = params.trial_jobs
+    if trial_jobs > 1:
+        configs = screen_accepted_configs(
+            params,
+            n_configs,
+            require_optimal_differs=require_optimal_differs,
+            max_attempts_factor=max_attempts_factor,
+            generator=generator,
+            n_jobs=trial_jobs,
+            execution=execution,
+        )
+        harnesses = [
+            ConfigHarness(config, params, rng=generator.rng)
+            for config in configs
+        ]
+        if execution is not None:
+            execution.harness_builds += len(harnesses)
+        return harnesses
     harnesses: List[ConfigHarness] = []
     attempts = 0
     max_attempts = max(1, n_configs) * max_attempts_factor

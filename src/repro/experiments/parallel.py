@@ -1,0 +1,502 @@
+"""Deterministic process-parallel experiment execution.
+
+The figure pipelines aggregate hundreds of independent Monte Carlo
+trials over dozens of sampled configurations; this module fans both
+levels out across a fork pool while keeping every number **bit-identical
+to the serial loops**:
+
+* **trial-level** (:func:`plan_trials` + :func:`run_planned_trials`) --
+  the per-trial randomness is pre-drawn in the parent from the harness
+  generator in exactly the serial order (one seed integer, then one
+  verdict per probeless attacker in lineup order), so the generator
+  stream is untouched by the fan-out.  Workers replay the pre-drawn
+  verdicts through :class:`_ScriptedAttacker` stand-ins and results are
+  merged back in trial order.
+* **config-level** (:func:`screen_accepted_configs`) -- the
+  rejection-sampling screening loop samples candidate configurations in
+  speculative batches, screens them across the pool, accepts in attempt
+  order, and rewinds the generator's bit-generator state to just after
+  the last *consumed* sample -- callers observe exactly the serial
+  acceptance sequence and leave the generator exactly where the serial
+  loop would have left it.
+
+The plumbing reuses the scoring engine's proven patterns
+(:mod:`repro.core.engine`): fork-inherited worker state (never pickled),
+obs counters collected as per-worker deltas and re-emitted by the
+parent (sums commute, so totals match serial), and a serial fallback on
+pool death -- trials and screens are pure functions of their pre-drawn
+inputs, so re-running them in the parent reproduces the identical
+results.  Fallbacks are counted in :class:`ExecutionStats` and the
+``experiment.pool.fallbacks`` metric.
+
+See EXPERIMENTS.md ("Parallel execution") for the determinism contract
+and the seed-stream layout.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.attacker import Attacker
+from repro.core.engine import _fork_context
+from repro.experiments.params import ExperimentParams
+from repro.experiments.trials import DefenseFactory, TrialResult, run_trial
+from repro.faults import FaultPlan
+from repro.flows.config import ConfigGenerator, NetworkConfiguration
+from repro.obs import Instrumentation, get_instrumentation, use_instrumentation
+from repro.simulator.timing import LatencyModel
+
+#: Trial chunks handed out per worker: small enough to balance load,
+#: large enough to amortise task pickling.  Chunking never affects
+#: results -- trials are merged back in trial order regardless.
+TRIAL_CHUNKS_PER_WORKER = 4
+
+#: Candidate configurations sampled per speculative screening batch,
+#: as a multiple of the worker count.
+SCREEN_BATCH_PER_WORKER = 2
+
+
+# ----------------------------------------------------------------------
+# Instrumentation
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionStats:
+    """Counters and stage timings for one parallel experiment run.
+
+    The experiment-layer sibling of
+    :class:`~repro.core.engine.ScoringStats`: one instance threads
+    through ``sample_screened_harnesses`` and ``run_trials`` calls and
+    accumulates what the fan-out actually did.
+    """
+
+    #: Parallelism the run was configured with.
+    n_jobs: int = 1
+    #: Trials executed through :func:`run_planned_trials`.
+    trials: int = 0
+    #: Trial chunks dispatched to the pool.
+    trial_chunks: int = 0
+    #: Screening attempts consumed (accepted + rejected samples).
+    screen_attempts: int = 0
+    #: Speculative screening batches dispatched.
+    screen_batches: int = 0
+    #: Harnesses built in the parent from accepted configurations.
+    harness_builds: int = 0
+    #: Pool dispatches re-run serially after a fork-pool failure.
+    pool_fallbacks: int = 0
+    #: Wall-clock seconds per stage (``trials``, ``screen``).
+    wall_times: Dict[str, float] = field(default_factory=dict)
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        """Accumulate wall time for a named stage."""
+        self.wall_times[stage] = self.wall_times.get(stage, 0.0) + seconds
+
+    def rows(self) -> List[List[object]]:
+        """``[name, value]`` rows for plain-text tables (CLI output)."""
+        rows: List[List[object]] = [
+            ["n_jobs", self.n_jobs],
+            ["trials", self.trials],
+            ["trial chunks", self.trial_chunks],
+            ["screen attempts", self.screen_attempts],
+            ["screen batches", self.screen_batches],
+            ["harness builds", self.harness_builds],
+            ["pool fallbacks", self.pool_fallbacks],
+        ]
+        for stage in sorted(self.wall_times):
+            rows.append([f"{stage} time (s)", f"{self.wall_times[stage]:.6f}"])
+        return rows
+
+
+def counter_deltas(obs: Instrumentation) -> Dict[str, int]:
+    """Non-zero counter totals of a worker-local backend.
+
+    Workers install a fresh :class:`~repro.obs.Instrumentation`, so its
+    totals *are* the deltas their chunk contributed; the parent re-emits
+    them onto its own backend.  Counter sums commute, so the merged
+    totals equal what the serial loop would have counted.
+    """
+    counters = obs.metrics.to_document()["counters"]
+    return {name: value for name, value in counters.items() if value}  # type: ignore[union-attr]
+
+
+# ----------------------------------------------------------------------
+# Trial-level fan-out
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TrialPlan:
+    """Pre-drawn randomness for one trial.
+
+    ``verdicts`` carries the scripted decision of every probeless
+    attacker (``(name, verdict)`` in lineup order): those attackers may
+    draw from the harness generator inside the trial, so their draws are
+    made in the parent -- interleaved with the seed draws exactly as the
+    serial loop interleaves them -- and replayed in the worker.
+    """
+
+    index: int
+    seed: int
+    verdicts: Tuple[Tuple[str, int], ...]
+
+
+class _ScriptedAttacker(Attacker):
+    """Replays a verdict pre-drawn by :func:`plan_trials` in the parent."""
+
+    def __init__(self, name: str, verdict: int) -> None:
+        self.name = name
+        self._verdict = int(verdict)
+
+    def plan(self) -> Tuple[int, ...]:
+        return ()
+
+    def decide(self, outcomes: Sequence[Optional[int]]) -> int:
+        if outcomes:
+            raise ValueError("scripted attacker sends no probes")
+        return self._verdict
+
+
+def plan_trials(
+    rng: np.random.Generator,
+    lineup: Sequence[Attacker],
+    n_trials: int,
+) -> List[TrialPlan]:
+    """Pre-draw the randomness of ``n_trials`` trials from ``rng``.
+
+    Consumes the generator stream exactly as the serial trial loop
+    does: for each trial, one seed integer, then one ``decide(())``
+    call per probeless attacker in lineup order (probing attackers
+    never draw from the shared generator at trial time).  After this
+    call the generator state equals the post-loop serial state, so
+    later draws -- e.g. the next harness's trials -- are unaffected.
+    """
+    probeless = [attacker for attacker in lineup if not attacker.plan()]
+    plans: List[TrialPlan] = []
+    for index in range(int(n_trials)):
+        seed = int(rng.integers(2**63 - 1))
+        verdicts = tuple(
+            (attacker.name, int(attacker.decide(())))
+            for attacker in probeless
+        )
+        plans.append(TrialPlan(index=index, seed=seed, verdicts=verdicts))
+    return plans
+
+
+@dataclass
+class _TrialContext:
+    """Fork-inherited worker state for trial-level fan-out."""
+
+    config: NetworkConfiguration
+    lineup: Tuple[Attacker, ...]
+    mode: str
+    latency: Optional[LatencyModel]
+    defense_factory: Optional[DefenseFactory]
+    fault_plan: Optional[FaultPlan]
+    probe_retries: int
+    collect_counters: bool
+
+
+def _scripted_lineup(
+    lineup: Tuple[Attacker, ...], plan: TrialPlan
+) -> Tuple[Attacker, ...]:
+    verdicts = dict(plan.verdicts)
+    return tuple(
+        _ScriptedAttacker(attacker.name, verdicts[attacker.name])
+        if attacker.name in verdicts
+        else attacker
+        for attacker in lineup
+    )
+
+
+def _run_planned_trial(context: _TrialContext, plan: TrialPlan) -> TrialResult:
+    """One trial from its pre-drawn plan (worker and fallback path)."""
+    return run_trial(
+        context.config,
+        _scripted_lineup(context.lineup, plan),
+        plan.seed,
+        mode=context.mode,
+        latency=context.latency,
+        defense_factory=context.defense_factory,
+        fault_plan=context.fault_plan,
+        probe_retries=context.probe_retries,
+    )
+
+
+_TRIAL_CONTEXT: Optional[_TrialContext] = None
+
+
+def _init_trial_worker(context: _TrialContext) -> None:
+    global _TRIAL_CONTEXT
+    _TRIAL_CONTEXT = context
+
+
+def _trial_chunk_work(
+    chunk: Tuple[TrialPlan, ...],
+) -> Tuple[List[TrialResult], Dict[str, int]]:
+    context = _TRIAL_CONTEXT
+    assert context is not None, "worker used before initialisation"
+    if not context.collect_counters:
+        return [_run_planned_trial(context, plan) for plan in chunk], {}
+    worker_obs = Instrumentation()
+    with use_instrumentation(worker_obs):
+        results = [_run_planned_trial(context, plan) for plan in chunk]
+    return results, counter_deltas(worker_obs)
+
+
+def _trial_chunks(
+    plans: Sequence[TrialPlan], n_jobs: int
+) -> List[Tuple[TrialPlan, ...]]:
+    size = max(1, -(-len(plans) // (n_jobs * TRIAL_CHUNKS_PER_WORKER)))
+    return [
+        tuple(plans[start:start + size])
+        for start in range(0, len(plans), size)
+    ]
+
+
+def run_planned_trials(
+    config: NetworkConfiguration,
+    lineup: Sequence[Attacker],
+    plans: Sequence[TrialPlan],
+    *,
+    n_jobs: int,
+    mode: str = "network",
+    latency: Optional[LatencyModel] = None,
+    defense_factory: Optional[DefenseFactory] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    probe_retries: int = 0,
+    execution: Optional[ExecutionStats] = None,
+) -> List[TrialResult]:
+    """Run pre-planned trials across a fork pool, in trial order.
+
+    Every trial is a pure function of its :class:`TrialPlan` (the
+    scripted verdicts remove the only in-trial draw from the shared
+    generator), so the returned ``TrialResult`` list is bit-identical
+    to running the serial loop over the same plans.  If the pool dies
+    -- fork failure, worker crash, an exception escaping the map -- the
+    whole batch is re-run serially in the parent and counted in
+    ``execution.pool_fallbacks`` / ``experiment.pool.fallbacks``.
+    """
+    obs = get_instrumentation()
+    plans = list(plans)
+    context = _TrialContext(
+        config=config,
+        lineup=tuple(lineup),
+        mode=mode,
+        latency=latency,
+        defense_factory=defense_factory,
+        fault_plan=fault_plan,
+        probe_retries=int(probe_retries),
+        collect_counters=obs.enabled,
+    )
+    chunks = _trial_chunks(plans, max(1, int(n_jobs)))
+    if execution is not None:
+        execution.trials += len(plans)
+        execution.trial_chunks += len(chunks)
+    started = time.perf_counter()
+    try:
+        jobs = min(int(n_jobs), len(chunks))
+        fork = _fork_context() if jobs > 1 else None
+        if fork is None:
+            return [_run_planned_trial(context, plan) for plan in plans]
+        try:
+            with fork.Pool(
+                jobs, initializer=_init_trial_worker, initargs=(context,)
+            ) as pool:
+                outputs = pool.map(_trial_chunk_work, chunks)
+        except Exception:
+            # Trials are pure given their plans; the serial re-run
+            # below reproduces exactly what the pool would have
+            # returned (and its counters land directly on the parent
+            # backend, so totals still match serial).
+            if execution is not None:
+                execution.pool_fallbacks += 1
+            obs.metrics.counter("experiment.pool.fallbacks").inc()
+            return [_run_planned_trial(context, plan) for plan in plans]
+        results: List[TrialResult] = []
+        merged: Dict[str, int] = {}
+        for chunk_results, deltas in outputs:
+            results.extend(chunk_results)
+            for name, value in deltas.items():
+                merged[name] = merged.get(name, 0) + value
+        if obs.enabled:
+            for name in sorted(merged):
+                obs.metrics.counter(name).inc(merged[name])
+        return results
+    finally:
+        if execution is not None:
+            execution.add_time("trials", time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# Config-level fan-out (screened rejection sampling)
+# ----------------------------------------------------------------------
+@dataclass
+class _ScreenContext:
+    """Fork-inherited worker state for config-level screening."""
+
+    params: ExperimentParams
+    require_optimal_differs: bool
+    collect_counters: bool
+
+
+def screening_verdicts(
+    params: ExperimentParams, config: NetworkConfiguration
+) -> Tuple[bool, bool]:
+    """``(screened_in, optimal_differs)`` for one candidate configuration.
+
+    Builds the harness with serial probe selection (a daemonic pool
+    worker cannot fork children of its own; the engine's selection is
+    bit-identical for every ``n_jobs``) and a throwaway seeded
+    generator -- screening never draws from the harness generator.
+    """
+    from repro.experiments.harness import ConfigHarness
+
+    harness = ConfigHarness(
+        config,
+        replace(params, selection_n_jobs=1),
+        rng=np.random.default_rng(0),
+    )
+    return harness.is_screened_in(), harness.optimal_differs_from_target()
+
+
+_SCREEN_CONTEXT: Optional[_ScreenContext] = None
+
+
+def _init_screen_worker(context: _ScreenContext) -> None:
+    global _SCREEN_CONTEXT
+    _SCREEN_CONTEXT = context
+
+
+def _screen_work(
+    config: NetworkConfiguration,
+) -> Tuple[bool, bool, Dict[str, int]]:
+    context = _SCREEN_CONTEXT
+    assert context is not None, "worker used before initialisation"
+    if not context.collect_counters:
+        screened, differs = screening_verdicts(context.params, config)
+        return screened, differs, {}
+    worker_obs = Instrumentation()
+    with use_instrumentation(worker_obs):
+        screened, differs = screening_verdicts(context.params, config)
+    return screened, differs, counter_deltas(worker_obs)
+
+
+def screen_accepted_configs(
+    params: ExperimentParams,
+    n_configs: int,
+    *,
+    require_optimal_differs: bool,
+    max_attempts_factor: int,
+    generator: ConfigGenerator,
+    n_jobs: int,
+    execution: Optional[ExecutionStats] = None,
+) -> List[NetworkConfiguration]:
+    """The screening acceptance loop, with the screens fanned out.
+
+    Candidates are sampled from ``generator`` in the parent (the only
+    place its stream is consumed) in speculative batches; each sample's
+    post-draw bit-generator state is recorded so that once the
+    acceptance quota is met mid-batch, the generator is rewound to just
+    after the last consumed sample.  Acceptance runs in attempt order,
+    so the returned configurations -- and the generator state handed
+    back to the caller -- are exactly the serial loop's.  Exhaustion
+    raises the same ``RuntimeError`` the serial loop raises.
+
+    A dead pool degrades to screening in the parent (counted once in
+    ``pool_fallbacks``); already-sampled candidates keep their place in
+    the attempt order, so the fallback changes nothing but wall clock.
+    """
+    obs = get_instrumentation()
+    max_attempts = max(1, n_configs) * max_attempts_factor
+    sampled = obs.metrics.counter("experiment.configs_sampled")
+    screened_out = obs.metrics.counter("experiment.configs_screened_out")
+    accepted: List[NetworkConfiguration] = []
+    attempts = 0
+    batch_size = max(SCREEN_BATCH_PER_WORKER * int(n_jobs), 4)
+    started = time.perf_counter()
+    pool = None
+    fork = _fork_context()
+    try:
+        if fork is not None:
+            context = _ScreenContext(
+                params=params,
+                require_optimal_differs=require_optimal_differs,
+                collect_counters=obs.enabled,
+            )
+            try:
+                pool = fork.Pool(
+                    int(n_jobs),
+                    initializer=_init_screen_worker,
+                    initargs=(context,),
+                )
+            except Exception:
+                pool = None
+                if execution is not None:
+                    execution.pool_fallbacks += 1
+                obs.metrics.counter("experiment.pool.fallbacks").inc()
+        while len(accepted) < n_configs:
+            remaining = max_attempts - attempts
+            if remaining <= 0:
+                # Same message the serial loop raises on its
+                # (max_attempts + 1)-th attempt.
+                raise RuntimeError(
+                    f"only {len(accepted)}/{n_configs} configurations "
+                    f"accepted after {max_attempts + 1} attempts; relax "
+                    "the screens or the absence range"
+                )
+            batch: List[NetworkConfiguration] = []
+            states: List[dict] = []
+            for _ in range(min(batch_size, remaining)):
+                batch.append(generator.sample())
+                states.append(generator.rng.bit_generator.state)
+            if execution is not None:
+                execution.screen_batches += 1
+            verdicts: Optional[List[Tuple[bool, bool, Dict[str, int]]]] = None
+            if pool is not None:
+                try:
+                    verdicts = pool.map(_screen_work, batch)
+                except Exception:
+                    pool.terminate()
+                    pool = None
+                    if execution is not None:
+                        execution.pool_fallbacks += 1
+                    obs.metrics.counter("experiment.pool.fallbacks").inc()
+            if verdicts is None:
+                # Parent-side screening: counters land directly on the
+                # parent backend, exactly like the serial loop.
+                verdicts = [
+                    screening_verdicts(params, config) + ({},)
+                    for config in batch
+                ]
+            else:
+                merged: Dict[str, int] = {}
+                for _, _, deltas in verdicts:
+                    for name, value in deltas.items():
+                        merged[name] = merged.get(name, 0) + value
+                if obs.enabled:
+                    for name in sorted(merged):
+                        obs.metrics.counter(name).inc(merged[name])
+            for position, (screened, differs, _) in enumerate(verdicts):
+                attempts += 1
+                sampled.inc()
+                if params.screen and not screened:
+                    screened_out.inc()
+                    continue
+                if require_optimal_differs and not differs:
+                    screened_out.inc()
+                    continue
+                accepted.append(batch[position])
+                if len(accepted) == n_configs:
+                    # Rewind past the speculative tail: the generator
+                    # resumes exactly where the serial loop stopped.
+                    generator.rng.bit_generator.state = states[position]
+                    return accepted
+        return accepted
+    finally:
+        if pool is not None:
+            pool.terminate()
+            pool.join()
+        if execution is not None:
+            execution.screen_attempts += attempts
+            execution.add_time("screen", time.perf_counter() - started)

@@ -55,6 +55,10 @@ class ExperimentParams:
     fault_plan: Optional[FaultPlan] = None
     #: Probe retransmissions after an unanswered probe (``Prober``).
     probe_retries: int = 0
+    #: Processes for the experiment layer's trial/config fan-out
+    #: (repro.experiments.parallel; 1 = the serial loops).  Results are
+    #: bit-identical for every setting -- see EXPERIMENTS.md.
+    trial_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.n_configs < 1 or self.n_trials < 1:
@@ -67,6 +71,8 @@ class ExperimentParams:
             raise ValueError("selection_n_jobs must be >= 1")
         if self.probe_retries < 0:
             raise ValueError("probe_retries must be >= 0")
+        if self.trial_jobs < 1:
+            raise ValueError("trial_jobs must be >= 1")
 
     def with_absence_range(
         self, low: float, high: float

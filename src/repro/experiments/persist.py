@@ -124,15 +124,29 @@ def _config_row(result: ConfigResult) -> Dict[str, object]:
 
 
 def _provenance(
-    params: Optional[ExperimentParams], seed: Optional[int]
+    params: Optional[ExperimentParams],
+    seed: Optional[int],
+    result: Optional[object] = None,
 ) -> Dict[str, object]:
     if seed is None and params is not None:
         seed = params.seed
-    return {
+    provenance: Dict[str, object] = {
         "repro_version": __version__,
         "git_sha": _git_sha(),
         "seed": seed,
     }
+    # Fan-out provenance (EXPERIMENTS.md, "Parallel execution"): the
+    # numbers are identical for every jobs setting, but a document
+    # should still record how it was produced -- and whether any pool
+    # dispatch degraded to the serial fallback.
+    execution = getattr(result, "execution", None)
+    if params is not None:
+        provenance["trial_jobs"] = params.trial_jobs
+    elif execution is not None:
+        provenance["trial_jobs"] = execution.n_jobs
+    if execution is not None:
+        provenance["pool_fallbacks"] = execution.pool_fallbacks
+    return provenance
 
 
 def _params_dict(
@@ -163,7 +177,7 @@ def fig6_to_document(
             for bucket in result.results_per_bin
         ],
         params=_params_dict(params),
-        provenance=_provenance(params, seed),
+        provenance=_provenance(params, seed, result),
     ).to_json()
 
 
@@ -192,7 +206,7 @@ def fig7_to_document(
             for bucket in result.results_per_bin
         ],
         params=_params_dict(params),
-        provenance=_provenance(params, seed),
+        provenance=_provenance(params, seed, result),
     ).to_json()
 
 
@@ -221,7 +235,7 @@ def robustness_to_document(
             for bucket in result.results_per_rate
         ],
         params=_params_dict(params),
-        provenance=_provenance(params, seed),
+        provenance=_provenance(params, seed, result),
     ).to_json()
 
 

@@ -152,6 +152,7 @@ def reproduce_all(
     timing_samples: int = 300,
     fault_plan: Optional[FaultPlan] = None,
     probe_retries: int = 0,
+    trial_jobs: int = 1,
 ) -> ReproductionReport:
     """Regenerate every artifact at ``scale`` of the paper's size.
 
@@ -160,7 +161,9 @@ def reproduce_all(
     the full reproduction under ~an hour.  ``fault_plan`` /
     ``probe_retries`` thread seeded fault injection through every trial
     (docs/FAULTS.md); the defaults reproduce the clean-channel paper
-    setting bit-for-bit.
+    setting bit-for-bit.  ``trial_jobs`` > 1 fans the screening and
+    trial loops across a fork pool without changing a single number
+    (EXPERIMENTS.md, "Parallel execution").
     """
     if scale <= 0:
         raise ValueError("scale must be positive")
@@ -171,6 +174,7 @@ def reproduce_all(
         trial_mode=trial_mode,
         fault_plan=fault_plan,
         probe_retries=probe_retries,
+        trial_jobs=trial_jobs,
     )
     elapsed: Dict[str, float] = {}
     obs = get_instrumentation()

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.deprecation import keyword_only
 from repro.experiments.harness import ConfigResult, sample_screened_harnesses
+from repro.experiments.parallel import ExecutionStats
 from repro.experiments.params import ExperimentParams
 from repro.faults import FAULT_KINDS, FaultPlan
 from repro.obs import Instrumentation, get_instrumentation, use_instrumentation
@@ -54,6 +55,7 @@ _SWEEP_COUNTERS: Tuple[str, ...] = tuple(
     "attacker.probe.retries",
     "attacker.probe.unobserved",
     "engine.pool.fallbacks",
+    "experiment.pool.fallbacks",
 )
 
 
@@ -67,6 +69,8 @@ class RobustnessResult:
     results_per_rate: List[List[ConfigResult]] = field(repr=False)
     #: Per-rate fault/retry counter totals (``faults.injected.*`` etc.).
     counters_per_rate: List[Dict[str, int]] = field(default_factory=list)
+    #: Fan-out accounting for the run (None on pre-parallel results).
+    execution: Optional[ExecutionStats] = field(default=None, repr=False)
 
     def accuracy_series(self) -> Dict[str, List[Optional[float]]]:
         """Per-rate mean accuracy for every attacker in the lineup."""
@@ -164,11 +168,13 @@ def run_robustness(
     with outer.span(
         "experiment.robustness", rates=len(rates), kinds=",".join(kinds)
     ):
+        execution = ExecutionStats(n_jobs=params.trial_jobs)
         harnesses = sample_screened_harnesses(
             params,
             configs if configs is not None else params.n_configs,
             require_optimal_differs=require_optimal_differs,
             max_attempts_factor=max_attempts_factor,
+            execution=execution,
         )
         results_per_rate: List[List[ConfigResult]] = []
         counters_per_rate: List[Dict[str, int]] = []
@@ -185,6 +191,7 @@ def run_robustness(
                         harness.run_trials(
                             fault_plan=plan,
                             probe_retries=params.probe_retries,
+                            execution=execution,
                         )
                         for harness in harnesses
                     ]
@@ -201,4 +208,5 @@ def run_robustness(
         probe_retries=params.probe_retries,
         results_per_rate=results_per_rate,
         counters_per_rate=counters_per_rate,
+        execution=execution,
     )

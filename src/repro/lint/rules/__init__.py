@@ -9,6 +9,7 @@ from repro.lint.rules.determinism import SetIterationRule
 from repro.lint.rules.faults import InjectorRandomnessRule
 from repro.lint.rules.mutation import CachedArrayMutationRule
 from repro.lint.rules.obs import ObservabilityContextRule
+from repro.lint.rules.parallel import PoolWorkerCaptureRule
 from repro.lint.rules.pyhygiene import PythonHygieneRule
 from repro.lint.rules.rng import UnseededRandomnessRule
 from repro.lint.rules.stochastic import UnvalidatedTransitionMatrixRule
@@ -22,6 +23,7 @@ ALL_RULES: List[LintRule] = [
     PythonHygieneRule(),
     ObservabilityContextRule(),
     InjectorRandomnessRule(),
+    PoolWorkerCaptureRule(),
 ]
 
 _BY_ID: Dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -37,6 +39,7 @@ __all__ = [
     "CachedArrayMutationRule",
     "InjectorRandomnessRule",
     "ObservabilityContextRule",
+    "PoolWorkerCaptureRule",
     "PythonHygieneRule",
     "SetIterationRule",
     "UnseededRandomnessRule",

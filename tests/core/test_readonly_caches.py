@@ -91,6 +91,45 @@ class TestFrozenModelCaches:
         with pytest.raises(ValueError):
             cov[0] = 2.0
 
+    def test_membership_matrix_is_readonly_and_cached(self, model):
+        membership = model.state_membership_matrix()
+        assert not membership.flags.writeable
+        with pytest.raises(ValueError):
+            membership[0, 0] = 1.0
+        assert model.state_membership_matrix() is membership
+
+    def test_membership_matrix_matches_state_rules(self, model):
+        membership = model.state_membership_matrix()
+        assert membership.shape == (model.context.n_rules, model.n_states)
+        for index in range(model.n_states):
+            rules = model.state_rules(index)
+            for rule in range(model.context.n_rules):
+                assert membership[rule, index] == (1.0 if rule in rules else 0.0)
+
+    def test_state_popcounts_is_readonly_and_cached(self, model):
+        popcounts = model.state_popcounts()
+        assert not popcounts.flags.writeable
+        with pytest.raises(ValueError):
+            popcounts[0] = 3
+        assert model.state_popcounts() is popcounts
+        assert [int(c) for c in popcounts] == [
+            len(model.state_rules(i)) for i in range(model.n_states)
+        ]
+
+    def test_vectorised_marginals_match_loop(self, model):
+        rng = np.random.default_rng(3)
+        distribution = rng.random(model.n_states)
+        distribution /= distribution.sum()
+        marginals = model.rule_presence_marginals(distribution)
+        expected = np.zeros(model.context.n_rules)
+        for index in range(model.n_states):
+            for rule in model.state_rules(index):
+                expected[rule] += distribution[index]
+        assert marginals == pytest.approx(expected)
+        occupancy = model.occupancy_distribution(distribution)
+        assert occupancy.sum() == pytest.approx(1.0)
+        assert len(occupancy) == model.context.cache_size + 1
+
     def test_copy_remains_writable(self, model, inference):
         for arr in (
             inference.dist_full,

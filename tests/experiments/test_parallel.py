@@ -1,0 +1,385 @@
+"""Differential suite: parallel execution is bit-identical to serial.
+
+The contract (EXPERIMENTS.md, "Parallel execution") is that any
+``trial_jobs`` setting produces exactly the numbers the serial loops
+produce -- same accuracies, same ``TrialResult`` sequences, same
+generator states, same persisted documents -- and that a dying pool
+degrades to the serial path with identical results, counted in
+``experiment.pool.fallbacks``.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.experiments.parallel as parallel_mod
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.harness import ConfigHarness, sample_screened_harnesses
+from repro.experiments.persist import (
+    fig6_to_document,
+    fig7_to_document,
+    robustness_to_document,
+)
+from repro.experiments.robustness import run_robustness
+from repro.faults import FaultPlan
+from repro.flows.config import ConfigGenerator
+from repro.obs import Instrumentation, use_instrumentation
+
+from tests.experiments.conftest import tiny_experiment_params
+
+#: Two broad bins keep fig6's double screen affordable at tiny scale.
+BINS = ((0.0, 0.5), (0.5, 1.0))
+
+JOBS = 2
+
+
+def _config_key(config):
+    return (
+        config.target_flow,
+        config.concrete_rules,
+        config.cache_size,
+        config.delta,
+        config.window_steps,
+        tuple(config.universe.rates),
+    )
+
+
+def _normalized(document):
+    """Strip the fields that legitimately differ between jobs settings."""
+    document = dict(document)
+    document.pop("provenance", None)
+    params = document.get("params")
+    if isinstance(params, dict):
+        document["params"] = {
+            k: v for k, v in params.items() if k != "trial_jobs"
+        }
+    return document
+
+
+def _accuracies(results_per_bucket):
+    return [
+        [result.accuracies for result in bucket]
+        for bucket in results_per_bucket
+    ]
+
+
+# ----------------------------------------------------------------------
+# Trial-level fan-out
+# ----------------------------------------------------------------------
+class TestTrialFanout:
+    def test_run_trials_bit_identical(self):
+        params = tiny_experiment_params(n_trials=12)
+        serial = ConfigHarness.sample(params)
+        fanned = ConfigHarness.sample(params)
+        a = serial.run_trials(keep_trials=True)
+        b = fanned.run_trials(keep_trials=True, trial_jobs=3)
+        assert a.accuracies == b.accuracies
+        assert a.trial_results == b.trial_results
+        assert a.screened == b.screened
+        # The generator streams end in the same place: later draws are
+        # unaffected by the fan-out.
+        assert (
+            serial.rng.bit_generator.state == fanned.rng.bit_generator.state
+        )
+
+    def test_run_trials_network_mode(self):
+        params = tiny_experiment_params(n_trials=4, trial_mode="network")
+        serial = ConfigHarness.sample(params)
+        fanned = ConfigHarness.sample(params)
+        a = serial.run_trials(keep_trials=True)
+        b = fanned.run_trials(keep_trials=True, trial_jobs=JOBS)
+        assert a.accuracies == b.accuracies
+        assert a.trial_results == b.trial_results
+
+    def test_run_trials_with_faults_and_retries(self):
+        plan = FaultPlan(packet_in_loss=0.4, probe_reply_loss=0.2, seed=5)
+        params = tiny_experiment_params(n_trials=10)
+        serial = ConfigHarness.sample(params)
+        fanned = ConfigHarness.sample(params)
+        a = serial.run_trials(
+            keep_trials=True, fault_plan=plan, probe_retries=1
+        )
+        b = fanned.run_trials(
+            keep_trials=True, fault_plan=plan, probe_retries=1,
+            trial_jobs=JOBS,
+        )
+        assert a.accuracies == b.accuracies
+        assert a.trial_results == b.trial_results
+
+    def test_trial_counters_match_serial(self):
+        plan = FaultPlan(probe_reply_loss=0.5, seed=9)
+        params = tiny_experiment_params(n_trials=8)
+
+        def counters(trial_jobs):
+            backend = Instrumentation()
+            with use_instrumentation(backend):
+                harness = ConfigHarness.sample(params)
+                harness.run_trials(
+                    fault_plan=plan, probe_retries=1, trial_jobs=trial_jobs
+                )
+            document = backend.metrics.to_document()["counters"]
+            return {
+                name: value
+                for name, value in document.items()
+                if value
+                and (
+                    name.startswith("faults.")
+                    or name.startswith("attacker.")
+                    or name == "experiment.trials"
+                )
+            }
+
+        assert counters(1) == counters(JOBS)
+
+    def test_params_trial_jobs_used_by_default(self):
+        params = tiny_experiment_params(n_trials=6)
+        serial = ConfigHarness.sample(params)
+        fanned = ConfigHarness.sample(replace(params, trial_jobs=JOBS))
+        a = serial.run_trials(keep_trials=True)
+        b = fanned.run_trials(keep_trials=True)
+        assert a.trial_results == b.trial_results
+
+    def test_duplicate_attacker_names_rejected(self):
+        params = tiny_experiment_params()
+        harness = ConfigHarness.sample(params)
+        lineup = (harness.naive_attacker, harness.naive_attacker)
+        with pytest.raises(ValueError, match="duplicate attacker name"):
+            harness.run_trials(attackers=lineup)
+        with pytest.raises(ValueError, match="naive"):
+            harness.run_trials(attackers=lineup, trial_jobs=JOBS)
+
+
+# ----------------------------------------------------------------------
+# Config-level fan-out (screened sampling)
+# ----------------------------------------------------------------------
+class TestScreeningFanout:
+    def test_screened_harnesses_bit_identical(self):
+        params = tiny_experiment_params()
+        serial_gen = ConfigGenerator(params.config, seed=7)
+        fanned_gen = ConfigGenerator(params.config, seed=7)
+        serial = sample_screened_harnesses(params, 3, generator=serial_gen)
+        fanned = sample_screened_harnesses(
+            params, 3, generator=fanned_gen, trial_jobs=JOBS
+        )
+        assert [_config_key(h.config) for h in serial] == [
+            _config_key(h.config) for h in fanned
+        ]
+        # The generator is left exactly where the serial loop left it...
+        assert (
+            serial_gen.rng.bit_generator.state
+            == fanned_gen.rng.bit_generator.state
+        )
+        # ...so the trial loops that follow are bit-identical too.
+        a = [h.run_trials(keep_trials=True) for h in serial]
+        b = [h.run_trials(keep_trials=True) for h in fanned]
+        assert [r.trial_results for r in a] == [r.trial_results for r in b]
+
+    def test_exhaustion_error_matches_serial(self):
+        params = tiny_experiment_params()
+        with pytest.raises(RuntimeError) as serial_error:
+            sample_screened_harnesses(
+                params,
+                3,
+                require_optimal_differs=True,
+                max_attempts_factor=1,
+                generator=ConfigGenerator(params.config, seed=11),
+            )
+        with pytest.raises(RuntimeError) as fanned_error:
+            sample_screened_harnesses(
+                params,
+                3,
+                require_optimal_differs=True,
+                max_attempts_factor=1,
+                generator=ConfigGenerator(params.config, seed=11),
+                trial_jobs=JOBS,
+            )
+        assert str(serial_error.value) == str(fanned_error.value)
+
+
+# ----------------------------------------------------------------------
+# Whole pipelines
+# ----------------------------------------------------------------------
+class TestPipelineDifferentials:
+    def test_fig6_bit_identical(self):
+        params = tiny_experiment_params(n_configs=2, n_trials=8)
+        serial = run_fig6(params, bins=BINS, configs_per_bin=1)
+        fanned = run_fig6(
+            replace(params, trial_jobs=JOBS), bins=BINS, configs_per_bin=1
+        )
+        assert _accuracies(serial.results_per_bin) == _accuracies(
+            fanned.results_per_bin
+        )
+        assert serial.accuracy_series() == fanned.accuracy_series()
+        assert serial.improvement_cdf() == fanned.improvement_cdf()
+        assert serial.headline() == fanned.headline()
+        assert _normalized(
+            fig6_to_document(serial, params=params)
+        ) == _normalized(
+            fig6_to_document(
+                fanned, params=replace(params, trial_jobs=JOBS)
+            )
+        )
+        assert fanned.execution is not None
+        assert fanned.execution.n_jobs == JOBS
+        assert fanned.execution.trials > 0
+
+    def test_fig7_bit_identical(self):
+        params = tiny_experiment_params(n_configs=2, n_trials=8)
+        serial = run_fig7(params, bins=BINS, configs_per_bin=1)
+        fanned = run_fig7(
+            replace(params, trial_jobs=JOBS), bins=BINS, configs_per_bin=1
+        )
+        assert _accuracies(serial.results_per_bin) == _accuracies(
+            fanned.results_per_bin
+        )
+        assert serial.accuracy_series() == fanned.accuracy_series()
+        assert serial.summary() == fanned.summary()
+        assert serial.accuracy_by_covering_count() == (
+            fanned.accuracy_by_covering_count()
+        )
+        assert _normalized(
+            fig7_to_document(serial, params=params)
+        ) == _normalized(
+            fig7_to_document(
+                fanned, params=replace(params, trial_jobs=JOBS)
+            )
+        )
+
+    def test_robustness_bit_identical_with_fault_plan(self):
+        params = tiny_experiment_params(
+            n_configs=2,
+            n_trials=6,
+            fault_plan=FaultPlan(seed=3),
+            probe_retries=1,
+        )
+        rates = (0.0, 0.3)
+        serial = run_robustness(params, rates=rates, configs=2)
+        fanned = run_robustness(
+            replace(params, trial_jobs=JOBS), rates=rates, configs=2
+        )
+        assert _accuracies(serial.results_per_rate) == _accuracies(
+            fanned.results_per_rate
+        )
+        assert serial.accuracy_series() == fanned.accuracy_series()
+        assert serial.counters_per_rate == fanned.counters_per_rate
+        assert serial.summary() == fanned.summary()
+        assert _normalized(
+            robustness_to_document(serial, params=params)
+        ) == _normalized(
+            robustness_to_document(
+                fanned, params=replace(params, trial_jobs=JOBS)
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Pool death and worker exceptions degrade to identical serial results
+# ----------------------------------------------------------------------
+class _BrokenContext:
+    """Stands in for the fork context; every pool creation dies."""
+
+    def Pool(self, *args, **kwargs):
+        raise BrokenPipeError("simulated pool death")
+
+
+def _exploding_chunk_work(chunk):
+    raise RuntimeError("worker crashed mid-chunk")
+
+
+def _exploding_screen_work(config):
+    raise RuntimeError("screen worker crashed")
+
+
+class TestFallbacks:
+    def test_trial_pool_death_falls_back_serially(self, monkeypatch):
+        params = tiny_experiment_params(n_trials=10)
+        baseline = ConfigHarness.sample(params).run_trials(keep_trials=True)
+        monkeypatch.setattr(
+            parallel_mod, "_fork_context", lambda: _BrokenContext()
+        )
+        backend = Instrumentation()
+        with use_instrumentation(backend):
+            harness = ConfigHarness.sample(params)
+            execution = parallel_mod.ExecutionStats(n_jobs=JOBS)
+            result = harness.run_trials(
+                keep_trials=True, trial_jobs=JOBS, execution=execution
+            )
+        assert result.accuracies == baseline.accuracies
+        assert result.trial_results == baseline.trial_results
+        assert execution.pool_fallbacks == 1
+        assert (
+            backend.metrics.counter("experiment.pool.fallbacks").value == 1
+        )
+
+    def test_trial_worker_exception_falls_back_serially(self, monkeypatch):
+        params = tiny_experiment_params(n_trials=10)
+        baseline = ConfigHarness.sample(params).run_trials(keep_trials=True)
+        monkeypatch.setattr(
+            parallel_mod, "_trial_chunk_work", _exploding_chunk_work
+        )
+        backend = Instrumentation()
+        with use_instrumentation(backend):
+            harness = ConfigHarness.sample(params)
+            execution = parallel_mod.ExecutionStats(n_jobs=JOBS)
+            result = harness.run_trials(
+                keep_trials=True, trial_jobs=JOBS, execution=execution
+            )
+        assert result.accuracies == baseline.accuracies
+        assert result.trial_results == baseline.trial_results
+        assert execution.pool_fallbacks == 1
+        assert (
+            backend.metrics.counter("experiment.pool.fallbacks").value == 1
+        )
+
+    def test_screen_pool_death_falls_back_serially(self, monkeypatch):
+        params = tiny_experiment_params()
+        expected = sample_screened_harnesses(
+            params, 2, generator=ConfigGenerator(params.config, seed=21)
+        )
+        monkeypatch.setattr(
+            parallel_mod, "_fork_context", lambda: _BrokenContext()
+        )
+        backend = Instrumentation()
+        with use_instrumentation(backend):
+            execution = parallel_mod.ExecutionStats(n_jobs=JOBS)
+            harnesses = sample_screened_harnesses(
+                params,
+                2,
+                generator=ConfigGenerator(params.config, seed=21),
+                trial_jobs=JOBS,
+                execution=execution,
+            )
+        assert [_config_key(h.config) for h in harnesses] == [
+            _config_key(h.config) for h in expected
+        ]
+        assert execution.pool_fallbacks == 1
+        assert (
+            backend.metrics.counter("experiment.pool.fallbacks").value == 1
+        )
+
+    def test_screen_worker_exception_falls_back_serially(self, monkeypatch):
+        params = tiny_experiment_params()
+        expected = sample_screened_harnesses(
+            params, 2, generator=ConfigGenerator(params.config, seed=21)
+        )
+        monkeypatch.setattr(
+            parallel_mod, "_screen_work", _exploding_screen_work
+        )
+        backend = Instrumentation()
+        with use_instrumentation(backend):
+            execution = parallel_mod.ExecutionStats(n_jobs=JOBS)
+            harnesses = sample_screened_harnesses(
+                params,
+                2,
+                generator=ConfigGenerator(params.config, seed=21),
+                trial_jobs=JOBS,
+                execution=execution,
+            )
+        assert [_config_key(h.config) for h in harnesses] == [
+            _config_key(h.config) for h in expected
+        ]
+        assert execution.pool_fallbacks == 1
+        assert (
+            backend.metrics.counter("experiment.pool.fallbacks").value == 1
+        )

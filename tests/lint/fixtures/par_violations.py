@@ -1,0 +1,48 @@
+"""PAR001 fixture: pool workers capturing parent RNG/instrumentation.
+
+Never imported -- parsed by the lint tests.  Lines carrying a
+``expect[RULE]`` marker must produce exactly that finding.
+"""
+
+import numpy as np
+
+from repro.obs import Instrumentation, get_instrumentation
+
+SHARED_RNG = np.random.default_rng(7)
+BACKEND: Instrumentation = Instrumentation()
+
+
+def _rng_capturing_worker(item):
+    return item + float(SHARED_RNG.random())  # expect[PAR001]
+
+
+def _metrics_capturing_worker(item):
+    BACKEND.metrics.counter("worker.items").inc()  # expect[PAR001]
+    return item
+
+
+def _ambient_obs_worker(item):
+    obs = get_instrumentation()  # expect[PAR001]
+    obs.metrics.counter("worker.items").inc()
+    return item
+
+
+def _clean_worker(task):
+    seed, item = task
+    rng = np.random.default_rng(seed)
+    obs = Instrumentation()
+    obs.metrics.counter("worker.items").inc()
+    return item + float(rng.random()), obs.metrics.to_document()
+
+
+def fan_out(pool, items):
+    results = pool.map(_rng_capturing_worker, items)
+    results += pool.map(_metrics_capturing_worker, items)
+    results += pool.map(_ambient_obs_worker, items)
+    results += pool.map(lambda item: item + 1, items)  # expect[PAR001]
+
+    def _nested_worker(item):
+        return item * 2
+
+    results += pool.map(_nested_worker, items)  # expect[PAR001]
+    return results + pool.map(_clean_worker, items)

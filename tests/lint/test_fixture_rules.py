@@ -45,6 +45,7 @@ FIXTURE_CASES = [
     ("py_violations.py", "PY001", 6),
     ("obs_violations.py", "OBS001", 4),
     ("flt_violations.py", "FLT001", 5),
+    ("par_violations.py", "PAR001", 5),
 ]
 
 
