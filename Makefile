@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-full demo examples check lint stats faults-smoke parallel-smoke coverage clean
+.PHONY: install test test-fast bench bench-smoke bench-full demo examples check lint stats faults-smoke parallel-smoke coverage clean
 
 install:
 	pip install -e .
@@ -15,6 +15,15 @@ test-fast:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Performance-regression smoke: the pinned fixed-scale proxy benchmark
+# compared against the stored BENCH_headline.json baseline.  Fails on a
+# >20% regression on the baseline machine; on other machines the
+# comparison is reported as informational only (timings don't transfer
+# across CPUs).  Seconds of wall clock, unlike `bench`.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_bench_proxy.py \
+		--benchmark-only --bench-compare
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -17,11 +17,96 @@ of the experiment, not statistical micro-benchmarks.
 
 from __future__ import annotations
 
+import json
 import os
+from pathlib import Path
 
 import pytest
 
 from repro.experiments.params import ExperimentParams, bench_scale
+
+#: Stored pytest-benchmark baseline the ``--bench-compare`` gate reads.
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_headline.json"
+
+#: Allowed slowdown of a compared benchmark over its stored baseline
+#: before ``--bench-compare`` fails the run.
+REGRESSION_BUDGET = 0.20
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-compare",
+        action="store",
+        nargs="?",
+        const=str(BASELINE_PATH),
+        default=None,
+        metavar="BASELINE_JSON",
+        help=(
+            "compare fast benchmarks against a stored pytest-benchmark "
+            "JSON baseline (default BENCH_headline.json) and fail when "
+            f"a benchmark regresses by more than {REGRESSION_BUDGET:.0%}"
+        ),
+    )
+
+
+def _machine_fingerprint(machine_info) -> tuple:
+    """The (cpu brand, cpu count) pair that makes timings comparable."""
+    cpu = machine_info.get("cpu", {}) if isinstance(machine_info, dict) else {}
+    return (cpu.get("brand_raw"), cpu.get("count"))
+
+
+@pytest.fixture
+def bench_compare(request, print_section):
+    """Gate a benchmark's mean against the stored baseline.
+
+    Returns a callable ``check(benchmark)`` to invoke *after* the
+    benchmark ran.  A no-op unless ``--bench-compare`` was given.  The
+    comparison only holds on the machine that produced the baseline, so
+    a differing CPU fingerprint downgrades the gate to a notice instead
+    of producing a meaningless pass or fail.
+    """
+    path = request.config.getoption("--bench-compare")
+
+    def check(benchmark) -> None:
+        if path is None:
+            return
+        baseline = json.loads(Path(path).read_text())
+        name = benchmark.name
+        entry = next(
+            (
+                b
+                for b in baseline.get("benchmarks", [])
+                if b.get("name") == name
+            ),
+            None,
+        )
+        if entry is None:
+            pytest.skip(f"{path} has no baseline entry for {name}")
+        stored_mean = entry["stats"]["mean"]
+        measured_mean = benchmark.stats.stats.mean
+        session = getattr(request.config, "_benchmarksession", None)
+        current = getattr(session, "machine_info", None) or {}
+        stored_print = _machine_fingerprint(baseline.get("machine_info", {}))
+        current_print = _machine_fingerprint(current)
+        report = (
+            f"bench-compare {name}: baseline {stored_mean:.3f}s, "
+            f"measured {measured_mean:.3f}s "
+            f"({measured_mean / stored_mean - 1.0:+.1%})"
+        )
+        if stored_print != current_print:
+            print_section(
+                f"{report}\n"
+                f"machine differs from baseline ({current_print} vs "
+                f"{stored_print}); comparison is informational only"
+            )
+            return
+        print_section(report)
+        assert measured_mean <= stored_mean * (1.0 + REGRESSION_BUDGET), (
+            f"{name} regressed beyond the {REGRESSION_BUDGET:.0%} budget: "
+            f"{measured_mean:.3f}s vs baseline {stored_mean:.3f}s"
+        )
+
+    return check
 
 
 def trial_mode() -> str:

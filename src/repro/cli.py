@@ -57,6 +57,7 @@ def add_common_args(
     mode_default: str = "network",
     faults: bool = False,
     trial_jobs: bool = False,
+    kernel: bool = False,
 ) -> None:
     """Attach the flags shared across subcommands.
 
@@ -69,7 +70,9 @@ def add_common_args(
     as a deprecated alias); ``trial_jobs`` adds ``--trial-jobs`` (the
     experiment layer's deterministic fan-out, EXPERIMENTS.md);
     ``faults`` adds ``--fault-plan``/``--probe-retries``
-    (docs/FAULTS.md).  ``--trace`` and ``--metrics`` are attached
+    (docs/FAULTS.md); ``kernel`` adds ``--kernel`` (probability-kernel
+    selection, docs/DESIGN.md -- identical probabilities, different
+    compute).  ``--trace`` and ``--metrics`` are attached
     unconditionally: observability is available on every subcommand.
     """
     if seed:
@@ -92,6 +95,7 @@ def add_common_args(
         out = True
         faults = True
         trial_jobs = True
+        kernel = True
     if faults:
         parser.add_argument(
             "--fault-plan", type=str, default=None, metavar="SPEC",
@@ -131,6 +135,17 @@ def add_common_args(
                 "are bit-identical for every N (1 = serial loops)"
             ),
         )
+    if kernel:
+        from repro.core.kernels import KERNEL_CHOICES
+
+        parser.add_argument(
+            "--kernel", choices=KERNEL_CHOICES, default="auto",
+            help=(
+                "probability kernel: dense reference, sparse vectorised, "
+                "or auto (sparse + compiled matvecs when available); "
+                "all choices compute identical probabilities"
+            ),
+        )
     parser.add_argument(
         "--trace", type=str, default=None, metavar="PATH",
         help="write an NDJSON span trace of this run to PATH",
@@ -168,6 +183,7 @@ def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
         fault_plan=_fault_plan(args),
         probe_retries=getattr(args, "probe_retries", 0),
         trial_jobs=getattr(args, "trial_jobs", 1),
+        kernel=getattr(args, "kernel", "auto"),
     )
 
 
@@ -397,6 +413,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
         config.universe,
         config.delta,
         config.cache_size,
+        kernel=getattr(args, "kernel", "auto"),
     )
     inference = ReconInference(
         model, config.target_flow, config.window_steps
@@ -651,7 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument(
         "--method", choices=("exhaustive", "greedy"), default="exhaustive"
     )
-    add_common_args(select, seed_fallback=12, jobs=True)
+    add_common_args(select, seed_fallback=12, jobs=True, kernel=True)
     select.set_defaults(func=_cmd_select)
 
     reproduce = sub.add_parser(

@@ -1,0 +1,54 @@
+"""Optional compiled (numba) inner kernels.
+
+numba ships via the ``fast`` extra (``pip install .[fast]``) and is
+never required: every caller falls back to the pure numpy/scipy path
+when :data:`HAVE_NUMBA` is false.  The compiled CSR matvec mirrors
+scipy's row-sequential accumulation order exactly, so the compiled and
+numpy paths agree bit-for-bit (tests/core/test_sparse_dense_diff.py).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only when the fast extra is present
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - default environment
+    numba = None
+    HAVE_NUMBA = False
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only with the fast extra
+
+    @numba.njit(cache=True)
+    def _csr_power_jit(indptr, indices, data, vec, steps):
+        n = vec.shape[0]
+        current = vec.copy()
+        scratch = np.empty(n, dtype=np.float64)
+        for _ in range(steps):
+            for i in range(n):
+                acc = 0.0
+                for k in range(indptr[i], indptr[i + 1]):
+                    acc += data[k] * current[indices[k]]
+                scratch[i] = acc
+            current, scratch = scratch, current
+        return current.copy()
+
+
+def csr_power(
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    vec: np.ndarray,
+    steps: int,
+) -> np.ndarray:
+    """``steps`` fused matvecs ``vec <- M @ vec`` for CSR ``M``.
+
+    Only callable when :data:`HAVE_NUMBA` is true; the ping-pong buffers
+    avoid the per-step allocation of the scipy path.
+    """
+    if not HAVE_NUMBA:  # pragma: no cover - guarded by callers
+        raise RuntimeError("numba is not installed (pip install .[fast])")
+    return _csr_power_jit(indptr, indices, data, vec, steps)

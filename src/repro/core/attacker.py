@@ -121,7 +121,19 @@ class ModelAttacker(Attacker):
             n_jobs=n_jobs,
         )
         self.choice = choice
-        self._tree = DecisionTree.build(inference, choice.probes)
+        # Built on first decision: the screening pipelines construct
+        # (and discard) attackers for every rejection-sampled candidate
+        # configuration, and only read the probe choice.
+        self._tree_cache: Optional[DecisionTree] = None
+
+    @property
+    def _tree(self) -> DecisionTree:
+        """The outcome classifier, built lazily from the probe choice."""
+        if self._tree_cache is None:
+            self._tree_cache = DecisionTree.build(
+                self.inference, self.choice.probes
+            )
+        return self._tree_cache
 
     def plan(self) -> Tuple[int, ...]:
         return self.choice.probes

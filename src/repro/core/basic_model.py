@@ -350,6 +350,12 @@ class BasicModel:
         matrix = sparse.coo_matrix(
             (probs, (rows, cols)), shape=(len(states), len(states))
         ).tocsr()
+        # Same read-only discipline as the compact model's matrices: the
+        # chain helpers accept sparse inputs without copying, so frozen
+        # buffers turn accidental in-place writes into errors.
+        matrix.data.setflags(write=False)
+        matrix.indices.setflags(write=False)
+        matrix.indptr.setflags(write=False)
         validate_stochastic(matrix, substochastic=bool(excluded))
         return states, matrix
 

@@ -9,37 +9,202 @@ Matrices may be *substochastic* (rows summing to less than one) when the
 target flow's transitions have been removed to compute joint events with
 ``X̂ = 0`` (Section V-A); the missing mass is exactly the probability of
 the target flow having occurred.
+
+Two pieces of machinery keep repeated powering cheap:
+
+* :class:`TransitionOperator` precomputes ``A^T`` in CSR layout once, so
+  every subsequent step is a single CSR matvec instead of the per-step
+  transpose hidden in ``d @ A`` for sparse ``A``.  The accumulation
+  order matches scipy's ``d @ A`` path element-for-element, so results
+  are bit-identical to the naive loop.
+* :class:`PowerChain` memoises ``A^T^k I_0`` at every requested ``k``,
+  so adjacent window lengths ``T' > T`` pay ``T' - T`` matvecs instead
+  of a full re-powering (the fig6/fig7 window sweeps and the window
+  ablation benchmark).  Because powering is a fixed sequence of
+  matvecs, resuming from a checkpoint is bit-identical to starting
+  over.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
+from repro.obs import counter_inc
+
 MatrixLike = Union[np.ndarray, sparse.spmatrix]
+
+try:  # scipy's raw CSR matvec: skips per-call wrapper/validation overhead
+    from scipy.sparse import _sparsetools
+
+    _csr_matvec = _sparsetools.csr_matvec
+except (ImportError, AttributeError):  # pragma: no cover - older scipy
+    _csr_matvec = None
+
+
+def _as_dense(distribution: Union[np.ndarray, sparse.spmatrix]) -> np.ndarray:
+    """Distribution input -> float64 ndarray (1-D, or 2-D row stack).
+
+    Sparse inputs are densified explicitly; a single sparse row comes
+    back as a 1-D vector (the row-vector convention), a multi-row
+    sparse input as a 2-D stack.  ``np.matrix`` is demoted to a plain
+    ndarray so downstream arithmetic keeps ndarray semantics.
+    """
+    if sparse.issparse(distribution):
+        dense = np.asarray(distribution.todense(), dtype=np.float64)
+        return dense.ravel() if dense.shape[0] == 1 else dense
+    return np.asarray(distribution, dtype=np.float64)
+
+
+class TransitionOperator:
+    """Repeated application of ``d -> d @ A`` with the transpose hoisted.
+
+    For sparse ``A`` the operator stores ``A^T`` in CSR layout once;
+    each step is then one CSR matvec (compiled via numba when
+    ``compiled=True`` and the ``fast`` extra is installed -- the jit
+    kernel mirrors scipy's row-sequential accumulation, so both paths
+    agree bit-for-bit).  Dense matrices keep the plain ``@`` loop.
+    """
+
+    # The operator re-lays-out a matrix its caller already routed
+    # through validate_stochastic; re-validating the transpose here
+    # would reject legitimately substochastic inputs.
+    def __init__(self, matrix: MatrixLike, compiled: bool = False) -> None:  # repro: noqa[STO001]
+        from repro.core._fastmath import HAVE_NUMBA
+
+        if sparse.issparse(matrix):
+            self._dense: Optional[np.ndarray] = None
+            transposed = sparse.csr_matrix(matrix.T)
+            transposed.data.setflags(write=False)
+            transposed.indices.setflags(write=False)
+            transposed.indptr.setflags(write=False)
+            self._csr_t: Optional[sparse.csr_matrix] = transposed
+        else:
+            self._dense = np.asarray(matrix, dtype=np.float64)
+            self._csr_t = None
+        self.compiled = bool(compiled) and HAVE_NUMBA and self._csr_t is not None
+        self.shape: Tuple[int, int] = tuple(matrix.shape)  # type: ignore[assignment]
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the operator wraps a sparse matrix."""
+        return self._csr_t is not None
+
+    def power(self, distribution: np.ndarray, steps: int) -> np.ndarray:
+        """``distribution @ A^steps`` for a 1-D vector or 2-D row stack."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        current = _as_dense(distribution).copy()
+        if steps == 0:
+            return current
+        if self._csr_t is None:
+            matrix = self._dense
+            stacked = current.ndim > 1
+            for _ in range(steps):
+                current = np.asarray(current @ matrix)
+                if not stacked:
+                    current = current.ravel()
+            return current
+        transposed = self._csr_t
+        if current.ndim == 1:
+            counter_inc("kernel.sparse.matvecs", steps)
+            if self.compiled:
+                from repro.core._fastmath import csr_power
+
+                return csr_power(
+                    transposed.indptr,
+                    transposed.indices,
+                    transposed.data,
+                    current,
+                    steps,
+                )
+            n_rows = transposed.shape[0]
+            if _csr_matvec is not None:
+                n_cols = transposed.shape[1]
+                indptr = transposed.indptr
+                indices = transposed.indices
+                data = transposed.data
+                scratch = np.zeros(n_rows, dtype=np.float64)
+                fill = scratch.fill
+                current_fill = current.fill
+                for _ in range(steps):
+                    fill(0.0)
+                    _csr_matvec(
+                        n_rows, n_cols, indptr, indices, data, current, scratch
+                    )
+                    current, scratch = scratch, current
+                    fill, current_fill = current_fill, fill
+                return current
+            for _ in range(steps):
+                current = transposed @ current
+            return current
+        # Row stack: (k, n) @ A == (A^T @ (k, n)^T)^T, all rows per step.
+        counter_inc("kernel.sparse.matvecs", steps * current.shape[0])
+        for _ in range(steps):
+            current = np.ascontiguousarray((transposed @ current.T).T)
+        return current
+
+
+class PowerChain:
+    """Incremental powering ``I_k = A^T^k I_0`` with checkpoint reuse.
+
+    ``advance(T)`` returns the frozen distribution after ``T`` steps,
+    resuming from the largest previously computed checkpoint ``<= T``.
+    Since the matvec sequence from a checkpoint is exactly the suffix of
+    the full sequence, incremental results are bit-identical to a full
+    re-powering from the start distribution.
+    """
+
+    def __init__(
+        self, operator: TransitionOperator, start: np.ndarray
+    ) -> None:
+        self._operator = operator
+        frozen = np.array(start, dtype=np.float64)
+        frozen.setflags(write=False)
+        self._checkpoints: Dict[int, np.ndarray] = {0: frozen}
+
+    @property
+    def operator(self) -> TransitionOperator:
+        """The underlying one-step operator."""
+        return self._operator
+
+    def advance(self, steps: int) -> np.ndarray:
+        """Frozen distribution after ``steps`` chain steps (memoised)."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        cached = self._checkpoints.get(steps)
+        if cached is not None:
+            if steps > 0:
+                counter_inc("kernel.power_chain.reuses")
+            return cached
+        base = max(k for k in self._checkpoints if k <= steps)
+        if base > 0:
+            counter_inc("kernel.power_chain.reuses")
+        result = self._operator.power(self._checkpoints[base], steps - base)
+        result.setflags(write=False)
+        self._checkpoints[steps] = result
+        return result
 
 
 def evolve(
-    distribution: np.ndarray, matrix: MatrixLike, steps: int
+    distribution: Union[np.ndarray, sparse.spmatrix],
+    matrix: MatrixLike,
+    steps: int,
 ) -> np.ndarray:
     """Apply ``steps`` chain steps: ``d <- d @ A`` repeated.
 
-    Works for dense and scipy-sparse matrices.  ``steps == 0`` returns a
-    copy of the input distribution.  A 2-D input is treated as a stack
-    of row distributions, all evolved in one matrix product per step
-    (the batched path of the probe-scoring engine).
+    Works for dense and scipy-sparse matrices *and* distributions: a
+    sparse distribution is densified explicitly (a single sparse row
+    becomes a 1-D vector), so the result is always a plain writable
+    ``np.ndarray`` -- never ``np.matrix`` or a sparse product.
+    ``steps == 0`` returns a copy of the input distribution.  A 2-D
+    input is treated as a stack of row distributions, all evolved in
+    one matrix product per step (the batched path of the probe-scoring
+    engine).
     """
-    if steps < 0:
-        raise ValueError("steps must be non-negative")
-    current = np.asarray(distribution, dtype=np.float64).copy()
-    stacked = current.ndim > 1
-    for _ in range(steps):
-        current = np.asarray(current @ matrix)
-        if not stacked:
-            current = current.ravel()
-    return current
+    return TransitionOperator(matrix).power(_as_dense(distribution), steps)
 
 
 def point_distribution(size: int, index: int) -> np.ndarray:
@@ -55,7 +220,7 @@ def row_sums(matrix: MatrixLike) -> np.ndarray:
     """Per-row transition mass (1.0 for a proper stochastic matrix)."""
     if sparse.issparse(matrix):
         return np.asarray(matrix.sum(axis=1)).ravel()
-    return np.asarray(matrix).sum(axis=1)
+    return np.asarray(np.asarray(matrix).sum(axis=1)).ravel()
 
 
 def validate_stochastic(
@@ -64,7 +229,8 @@ def validate_stochastic(
     """Raise ``ValueError`` unless rows sum to one (or at most one).
 
     With ``substochastic=True``, rows may sum to anything in ``[0, 1]``
-    (the target-excluded matrices of Section V-A).
+    (the target-excluded matrices of Section V-A).  Accepts dense
+    arrays, ``np.matrix``, and every scipy-sparse format.
     """
     sums = row_sums(matrix)
     if substochastic:
@@ -88,19 +254,19 @@ def stationary_distribution(
 
     Suitable for the irreducible, aperiodic chains produced by the models
     (every state reaches the empty cache through timeouts, and the empty
-    cache has a self-loop through the no-arrival event).
+    cache has a self-loop through the no-arrival event).  Sparse
+    matrices iterate through the cached-transpose operator, so the
+    per-iteration cost is one CSR matvec.
     """
-    if sparse.issparse(matrix):
-        size = matrix.shape[0]
-    else:
-        size = np.asarray(matrix).shape[0]
+    size = matrix.shape[0]
     current = (
         np.full(size, 1.0 / size)
         if initial is None
-        else np.asarray(initial, dtype=np.float64).copy()
+        else _as_dense(initial).copy()
     )
+    operator = TransitionOperator(matrix)
     for _ in range(max_iterations):
-        nxt = np.asarray(current @ matrix).ravel()
+        nxt = operator.power(current, 1)
         if np.abs(nxt - current).max() < tol:
             return nxt
         current = nxt
@@ -113,7 +279,7 @@ def total_variation(p: np.ndarray, q: np.ndarray) -> float:
 
 
 def per_flow_step_probabilities(
-    step_rates: np.ndarray,
+    step_rates: Union[np.ndarray, sparse.spmatrix],
 ) -> Tuple[np.ndarray, float]:
     """Normalised per-step event probabilities for Poisson arrivals.
 
@@ -129,8 +295,9 @@ def per_flow_step_probabilities(
 
     Returns ``(p_flows, p_none)``; the decomposition is what allows the
     target flow's transitions to be zeroed exactly (Section V-A).
+    Sparse inputs (a sparse row of rates) are densified explicitly.
     """
-    rates = np.asarray(step_rates, dtype=np.float64)
+    rates = _as_dense(step_rates)
     if (rates < 0).any():
         raise ValueError("negative step rates")
     denominator = 1.0 + float(rates.sum())

@@ -39,8 +39,15 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.core.chain import per_flow_step_probabilities, validate_stochastic
+from repro.core.chain import (
+    MatrixLike,
+    PowerChain,
+    TransitionOperator,
+    per_flow_step_probabilities,
+    validate_stochastic,
+)
 from repro.core.context import ModelContext
+from repro.core.kernels import ResolvedKernel, resolve_kernel
 from repro.core.masks import enumerate_subsets, indices_from_mask, popcount
 from repro.core.recency import (
     IndependentRecencyEstimator,
@@ -72,6 +79,15 @@ class CompactModel:
     expire_on_arrival:
         Apply expiration hazards on arrival steps too (timers run every
         step, as in the basic model), not only on no-arrival steps.
+    kernel:
+        Probability-kernel selection: ``"dense"`` (the reference
+        per-state builder, dense matrices), ``"sparse"`` (the vectorised
+        builder, CSR matrices and cached-transpose powering), or
+        ``"auto"`` (sparse, compiled matvecs when the ``fast`` extra is
+        installed).  ``None`` resolves the ambient default
+        (:func:`repro.core.kernels.resolve_kernel`).  All kernels
+        produce bitwise-identical probabilities; the choice only moves
+        the compute.
     """
 
     def __init__(
@@ -83,6 +99,7 @@ class CompactModel:
         estimator: Optional[RecencyEstimator] = None,
         multi_expiry: bool = False,
         expire_on_arrival: bool = True,
+        kernel: Optional[str] = None,
     ) -> None:
         self.context = ModelContext(policy, universe, delta, cache_size)
         self.estimator = estimator or IndependentRecencyEstimator(self.context)
@@ -92,6 +109,7 @@ class CompactModel:
             self.estimator.context = self.context
         self.multi_expiry = multi_expiry
         self.expire_on_arrival = expire_on_arrival
+        self.kernel: ResolvedKernel = resolve_kernel(kernel)
 
         self.states: List[int] = enumerate_subsets(
             self.context.n_rules, cache_size
@@ -108,6 +126,11 @@ class CompactModel:
         self._probe_matrix_cache: Dict[int, sparse.csr_matrix] = {}
         self._membership_matrix: Optional[np.ndarray] = None
         self._state_popcounts: Optional[np.ndarray] = None
+        self._matrix_cache: Dict[Tuple[int, ...], MatrixLike] = {}
+        self._operator_cache: Dict[Tuple[int, ...], TransitionOperator] = {}
+        self._chain_cache: Dict[
+            Tuple[Tuple[int, ...], Optional[bytes]], PowerChain
+        ] = {}
 
     # ------------------------------------------------------------------
     # Public conveniences
@@ -148,12 +171,11 @@ class CompactModel:
         """
         cached = self._membership_matrix
         if cached is None:
-            cached = np.zeros(
-                (self.context.n_rules, self.n_states), dtype=np.float64
+            states = np.asarray(self.states, dtype=np.int64)
+            bits = np.arange(self.context.n_rules, dtype=np.int64)
+            cached = ((states[None, :] >> bits[:, None]) & 1).astype(
+                np.float64
             )
-            for index, state in enumerate(self.states):
-                for rule in indices_from_mask(state):
-                    cached[rule, index] = 1.0
             cached.setflags(write=False)
             self._membership_matrix = cached
         return cached
@@ -387,29 +409,106 @@ class CompactModel:
         self,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         if self._entries is None:
-            self._entries = self._build_entries()
+            if self.kernel.name == "sparse":
+                from repro.core import transition_build
+
+                if transition_build.supports(self):
+                    self._entries = transition_build.build_entries(self)
+                else:
+                    # Non-default estimator or expiry semantics: only the
+                    # reference builder implements them.
+                    self._entries = self._build_entries()
+            else:
+                self._entries = self._build_entries()
         return self._entries
+
+    @staticmethod
+    def _exclusion_key(exclude_flows: Iterable[int]) -> Tuple[int, ...]:
+        return tuple(sorted({int(flow) for flow in exclude_flows}))
 
     def transition_matrix(
         self, exclude_flows: Iterable[int] = ()
-    ) -> sparse.csr_matrix:
+    ) -> MatrixLike:
         """The chain's transition matrix, optionally dropping flows.
 
         With ``exclude_flows`` empty the matrix is row-stochastic; with
         flows excluded it is substochastic (the dropped mass equals the
         per-step probability of an excluded flow arriving), implementing
         the Section V-A construction for ``P(X̂ = 0 ∧ ...)``.
+
+        The sparse kernels return a ``csr_matrix`` whose buffers are
+        frozen; the dense kernel a read-only ``np.ndarray``.  Matrices
+        are memoised per exclusion set and aliased to every caller.
         """
+        key = self._exclusion_key(exclude_flows)
+        cached = self._matrix_cache.get(key)
+        if cached is not None:
+            return cached
         rows, cols, probs, tags = self._ensure_entries()
-        excluded = set(exclude_flows)
-        if excluded:
-            keep = ~np.isin(tags, sorted(excluded))
+        if key:
+            if len(key) == 1:
+                keep = tags != key[0]
+            else:
+                keep = ~np.isin(tags, key)
             rows, cols, probs = rows[keep], cols[keep], probs[keep]
-        matrix = sparse.coo_matrix(
+        # Duplicate (row, col) entries are summed during CSR conversion;
+        # the dense kernel densifies *after* that so both kernels add
+        # duplicates in the identical order (bit-equal matrices).
+        csr = sparse.coo_matrix(
             (probs, (rows, cols)), shape=(self.n_states, self.n_states)
         ).tocsr()
-        validate_stochastic(matrix, substochastic=bool(excluded))
+        matrix: MatrixLike
+        if self.kernel.name == "dense":
+            matrix = csr.toarray()
+            matrix.setflags(write=False)
+        else:
+            matrix = csr
+            matrix.data.setflags(write=False)
+            matrix.indices.setflags(write=False)
+            matrix.indptr.setflags(write=False)
+        validate_stochastic(matrix, substochastic=bool(key))
+        self._matrix_cache[key] = matrix
         return matrix
+
+    def transition_operator(
+        self, exclude_flows: Iterable[int] = ()
+    ) -> TransitionOperator:
+        """Memoised one-step operator ``d -> d @ A`` per exclusion set.
+
+        Hoists the sparse transpose (and, under the compiled kernel, the
+        jit dispatch) out of repeated powering.
+        """
+        key = self._exclusion_key(exclude_flows)
+        operator = self._operator_cache.get(key)
+        if operator is None:
+            operator = TransitionOperator(
+                self.transition_matrix(key), compiled=self.kernel.compiled
+            )
+            self._operator_cache[key] = operator
+        return operator
+
+    def power_chain(
+        self,
+        exclude_flows: Iterable[int] = (),
+        start: Optional[np.ndarray] = None,
+    ) -> PowerChain:
+        """Memoised incremental power chain per (exclusion set, start).
+
+        ``start=None`` means the model's initial distribution -- the
+        common case, shared across every inference fitted on this model,
+        so re-windowing (fig6/fig7 sweeps, the window ablation) pays
+        only the step delta instead of a full re-powering.
+        """
+        key = (
+            self._exclusion_key(exclude_flows),
+            None if start is None else np.asarray(start).tobytes(),
+        )
+        chain = self._chain_cache.get(key)
+        if chain is None:
+            initial = self.initial_distribution() if start is None else start
+            chain = PowerChain(self.transition_operator(key[0]), initial)
+            self._chain_cache[key] = chain
+        return chain
 
     # ------------------------------------------------------------------
     # Distribution evolution
@@ -430,12 +529,17 @@ class CompactModel:
         initial: Optional[np.ndarray] = None,
         exclude_flows: Iterable[int] = (),
     ) -> np.ndarray:
-        """``I_T = A^T I_0`` (Eqn. 8), row-vector convention."""
-        from repro.core.chain import evolve
+        """``I_T = A^T I_0`` (Eqn. 8), row-vector convention.
 
-        matrix = self.transition_matrix(exclude_flows)
-        start = self.initial_distribution() if initial is None else initial
-        return evolve(start, matrix, steps)
+        Default-start evolutions go through the memoised power chain, so
+        repeated calls with growing ``steps`` pay only the delta; the
+        result is always a fresh writable copy.
+        """
+        if initial is None:
+            chain = self.power_chain(exclude_flows)
+            return np.array(chain.advance(steps))
+        operator = self.transition_operator(exclude_flows)
+        return operator.power(np.asarray(initial, dtype=np.float64), steps)
 
     def rule_presence_marginals(self, distribution: np.ndarray) -> np.ndarray:
         """``P(rule_j in cache)`` for each rule, under a state distribution."""

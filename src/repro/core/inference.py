@@ -17,7 +17,7 @@ This module implements Section V's probability computations on top of a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -100,6 +100,9 @@ class ReconInference:
         # entry, so neither the caller's array nor ours may drift.
         self._start = np.array(start, dtype=np.float64)
         self._start.setflags(write=False)
+        # Whether evolutions can share the model's default-start power
+        # chains (reused across every inference on this model).
+        self._default_start = initial is None
         #: Work counters read by the probe-scoring engine's
         #: :class:`~repro.core.engine.ScoringStats`.
         self.counters: Dict[str, int] = {
@@ -148,13 +151,16 @@ class ReconInference:
         cached = self._evolution_cache.get(key)
         if cached is not None:
             return cached
-        matrix = self.model.transition_matrix(exclude_flows=key)
         self.counters["evolutions"] += 1
-        dist = evolve(self._start, matrix, self.window_steps)
-        # Cache entries are aliased to every caller; freeze them so an
-        # accidental in-place write raises instead of corrupting all
-        # later scores (the runtime complement of lint rule MUT001).
-        dist.setflags(write=False)
+        # The model's power chain memoises A^T I_0 checkpoints across
+        # every inference sharing the default start, so re-windowing the
+        # same model pays only the step delta.  Chain results arrive
+        # frozen -- aliased cache entries stay read-only (the runtime
+        # complement of lint rule MUT001).
+        chain = self.model.power_chain(
+            key, None if self._default_start else self._start
+        )
+        dist = chain.advance(self.window_steps)
         self._evolution_cache[key] = dist
         return dist
 
@@ -238,10 +244,10 @@ class ReconInference:
     # ------------------------------------------------------------------
     def _weights_dict(self, dist: np.ndarray) -> Dict[int, float]:
         states = self.model.states
-        return {
-            states[i]: float(dist[i])
-            for i in np.nonzero(dist > 1e-15)[0]
-        }
+        idx = np.nonzero(dist > 1e-15)[0]
+        return dict(
+            zip((states[i] for i in idx.tolist()), dist[idx].tolist())
+        )
 
     def outcome_table(self, probes: Sequence[int]) -> OutcomeTable:
         """Joint outcome table for an ordered probe sequence (memoised)."""
@@ -249,11 +255,22 @@ class ReconInference:
         cached = self._table_cache.get(key)
         if cached is not None:
             return cached
+        # The two walks visit largely the same states; share the
+        # (flow, state) branch memo so probe application runs once.
+        branch_cache: Dict[
+            Tuple[int, int], Tuple[int, List[Tuple[int, float]]]
+        ] = {}
         outcome_probs = walk_probes(
-            self.model, self._weights_dict(self.dist_full), key
+            self.model,
+            self._weights_dict(self.dist_full),
+            key,
+            branch_cache=branch_cache,
         )
         joint_absent = walk_probes(
-            self.model, self._weights_dict(self.dist_absent), key
+            self.model,
+            self._weights_dict(self.dist_absent),
+            key,
+            branch_cache=branch_cache,
         )
         table = OutcomeTable(
             probes=key,

@@ -49,9 +49,18 @@ def iter_bits(mask: int) -> Iterator[int]:
         index += 1
 
 
-def popcount(mask: int) -> int:
-    """Number of set bits."""
-    return bin(mask).count("1")
+try:  # int.bit_count: Python >= 3.10
+    (0).bit_count
+
+    def popcount(mask: int) -> int:
+        """Number of set bits."""
+        return mask.bit_count()
+
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+
+    def popcount(mask: int) -> int:
+        """Number of set bits."""
+        return bin(mask).count("1")
 
 
 class RateTable:
@@ -68,9 +77,14 @@ class RateTable:
         if self._n <= _MAX_TABLE_BITS:
             size = 1 << self._n
             table = np.zeros(size, dtype=np.float64)
-            for mask in range(1, size):
-                low = mask & (-mask)
-                table[mask] = table[mask ^ low] + self._rates[low.bit_length() - 1]
+            # Subset-DP ``table[m] = table[m ^ low] + rate[low]`` done one
+            # bit at a time, highest lowest-bit first: every mask whose
+            # lowest set bit is ``b`` is its parent (bits above ``b``
+            # only) plus ``rate[b]`` -- the exact addition the per-mask
+            # loop performs, so the table is bit-identical to it.
+            for b in range(self._n - 1, -1, -1):
+                view = table[: size].reshape(-1, 1 << (b + 1))
+                view[:, 1 << b] = view[:, 0] + self._rates[b]
             self._table = table
         else:  # pragma: no cover - exercised only for huge universes
             self._table = None
@@ -97,6 +111,20 @@ class RateTable:
             total += self._rates[index]
         return total
 
+    def sums(self, masks: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`sum` over an integer array of masks.
+
+        The batched gather the vectorised transition builder uses;
+        identical values to calling :meth:`sum` per element.
+        """
+        if self._table is not None:
+            return self._table[masks]
+        return np.fromiter(  # pragma: no cover - huge-universe fallback
+            (self.sum(int(mask)) for mask in np.ravel(masks)),
+            dtype=np.float64,
+            count=np.size(masks),
+        ).reshape(np.shape(masks))
+
 
 def enumerate_subsets(n_items: int, max_size: int) -> List[int]:
     """All bitmask subsets of ``{0..n_items-1}`` of size ``<= max_size``.
@@ -110,8 +138,10 @@ def enumerate_subsets(n_items: int, max_size: int) -> List[int]:
 
     if max_size < 0:
         raise ValueError("max_size must be non-negative")
+    bits = [1 << index for index in range(n_items)]
     subsets: List[int] = []
+    append = subsets.append
     for size in range(0, min(max_size, n_items) + 1):
-        for combo in combinations(range(n_items), size):
-            subsets.append(mask_from_indices(combo))
+        for combo in combinations(bits, size):
+            append(sum(combo))
     return subsets

@@ -11,7 +11,7 @@ successor states when an eviction is involved.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.compact_model import CompactModel
 from repro.core.masks import popcount
@@ -53,6 +53,9 @@ def walk_probes(
     weights_by_state: Dict[int, float],
     probes: Tuple[int, ...],
     prune: float = 1e-15,
+    branch_cache: Optional[
+        Dict[Tuple[int, int], Tuple[int, List[Tuple[int, float]]]]
+    ] = None,
 ) -> Dict[Tuple[int, ...], float]:
     """Push a state distribution through a probe sequence.
 
@@ -61,26 +64,90 @@ def walk_probes(
     order; each probe's outcome is read off the state *before* the
     probe's own perturbation is applied, and the perturbation feeds the
     next probe -- the Section V-B incremental adjustment.
+
+    ``branch_cache`` optionally memoises ``(flow, state) -> (outcome
+    bit, successor branches)`` across calls; both are pure functions of
+    the model, so sharing a cache between walks (e.g. the joint and
+    marginal walks of one outcome table) changes nothing observable.
     """
     outcome_probs: Dict[Tuple[int, ...], float] = {}
+    if branch_cache is None:
+        branch_cache = {}
+    if len(probes) == 1:
+        return _walk_single_probe(
+            model, weights_by_state, probes[0], prune, branch_cache
+        )
     # Frontier entries: (state, outcome prefix) -> weight.
     frontier: Dict[Tuple[int, Tuple[int, ...]], float] = {
         (state, ()): weight
         for state, weight in weights_by_state.items()
         if weight > prune
     }
+    cache_get = branch_cache.get
     for flow in probes:
         next_frontier: Dict[Tuple[int, Tuple[int, ...]], float] = {}
+        get = next_frontier.get
         for (state, prefix), weight in frontier.items():
-            bit = probe_outcome(model, state, flow)
+            entry = cache_get((flow, state))
+            if entry is None:
+                entry = (
+                    probe_outcome(model, state, flow),
+                    apply_probe(model, state, flow),
+                )
+                branch_cache[(flow, state)] = entry
+            bit, branches = entry
             outcome = prefix + (bit,)
-            for successor, branch_prob in apply_probe(model, state, flow):
+            for successor, branch_prob in branches:
                 new_weight = weight * branch_prob
                 if new_weight <= prune:
                     continue
                 key = (successor, outcome)
-                next_frontier[key] = next_frontier.get(key, 0.0) + new_weight
+                next_frontier[key] = get(key, 0.0) + new_weight
         frontier = next_frontier
     for (state, outcome), weight in frontier.items():
         outcome_probs[outcome] = outcome_probs.get(outcome, 0.0) + weight
     return outcome_probs
+
+
+def _walk_single_probe(
+    model: CompactModel,
+    weights_by_state: Dict[int, float],
+    flow: int,
+    prune: float,
+    branch_cache: Dict[Tuple[int, int], Tuple[int, List[Tuple[int, float]]]],
+) -> Dict[Tuple[int, ...], float]:
+    """One-probe fast path: plain-int keys instead of tuple keys.
+
+    Replicates the generic walk exactly: per-outcome successor dicts
+    merge contributions in the same insertion order the combined
+    ``(state, outcome)`` frontier would, outcome dicts are created at
+    the first *surviving* insertion (so the returned key order matches),
+    and each outcome's total accumulates over its successors in that
+    same insertion order -- bit-identical sums.
+    """
+    by_bit: Dict[int, Dict[int, float]] = {}
+    cache_get = branch_cache.get
+    for state, weight in weights_by_state.items():
+        if weight <= prune:
+            continue
+        entry = cache_get((flow, state))
+        if entry is None:
+            entry = (
+                probe_outcome(model, state, flow),
+                apply_probe(model, state, flow),
+            )
+            branch_cache[(flow, state)] = entry
+        bit, branches = entry
+        target = by_bit.get(bit)
+        for successor, branch_prob in branches:
+            new_weight = weight * branch_prob
+            if new_weight <= prune:
+                continue
+            if target is None:
+                target = {}
+                by_bit[bit] = target
+            target[successor] = target.get(successor, 0.0) + new_weight
+    return {
+        (bit,): sum(successors.values())
+        for bit, successors in by_bit.items()
+    }

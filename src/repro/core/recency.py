@@ -69,14 +69,66 @@ class RecencyEstimator(ABC):
     def __init__(self, context: ModelContext) -> None:
         self.context = context
         self._cache: Dict[int, RecencyStats] = {}
+        #: ``state -> position`` into the bulk tables (see seed_bulk).
+        self._bulk_index: Dict[int, int] = {}
+        self._bulk_tables: Optional[
+            Sequence[np.ndarray]
+        ] = None
 
     def stats(self, state: int) -> RecencyStats:
         """Memoised per-state statistics."""
         found = self._cache.get(state)
         if found is None:
-            found = self._compute(state)
+            position = self._bulk_index.pop(state, None)
+            if position is not None:
+                found = self._materialize_bulk(position)
+            else:
+                found = self._compute(state)
             self._cache[state] = found
         return found
+
+    def seed(self, state: int, stats: RecencyStats) -> None:
+        """Pre-populate the memo for ``state`` (first writer wins).
+
+        The vectorised kernel tables (repro.core.transition_build)
+        compute whole-model statistics in bulk and seed them here so
+        later per-state lookups (e.g. ``probe_matrix``) are free.  The
+        bulk values are bitwise-equal to :meth:`_compute`'s, so seeding
+        never changes observable results.
+        """
+        self._cache.setdefault(state, stats)
+
+    def seed_bulk(
+        self,
+        states: Sequence[int],
+        rules: np.ndarray,
+        hazards: np.ndarray,
+        eviction: np.ndarray,
+    ) -> None:
+        """Register bulk-computed rows, materialised lazily on lookup.
+
+        Row ``p`` of ``rules`` / ``hazards`` / ``eviction`` holds the
+        cached rules of ``states[p]`` (ascending) with their timeout
+        hazards and eviction split.  Like :meth:`seed` the values must
+        be bitwise-equal to :meth:`_compute`'s; unlike it, nothing is
+        allocated per state until the state is actually looked up --
+        most states of a screened-out model never are.
+        """
+        self._bulk_tables = (rules, hazards, eviction)
+        cache = self._cache
+        index = self._bulk_index
+        for position, state in enumerate(states):
+            if state not in cache:
+                index[state] = position
+
+    def _materialize_bulk(self, position: int) -> RecencyStats:
+        assert self._bulk_tables is not None
+        rules, hazards, eviction = self._bulk_tables
+        rule_row = rules[position].tolist()
+        return RecencyStats(
+            timeout_hazards=dict(zip(rule_row, hazards[position].tolist())),
+            eviction=dict(zip(rule_row, eviction[position].tolist())),
+        )
 
     @abstractmethod
     def _compute(self, state: int) -> RecencyStats:

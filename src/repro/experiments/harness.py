@@ -97,6 +97,7 @@ class ConfigHarness:
                 config.universe,
                 config.delta,
                 config.cache_size,
+                kernel=params.kernel,
             )
             if params.estimator != "independent":
                 self.model.estimator = make_estimator(
@@ -116,18 +117,31 @@ class ConfigHarness:
                 decision=params.decision,
                 n_jobs=params.selection_n_jobs,
             )
-            self.constrained_attacker = ConstrainedModelAttacker(
-                self.inference,
-                n_probes=params.n_probes,
-                decision=params.constrained_decision,
-                n_jobs=params.selection_n_jobs,
-            )
+        # Built on first use: the screens only consult the model
+        # attacker's probe choice, so rejection-sampled candidates never
+        # pay for the constrained selection.
+        self._constrained_attacker: Optional[ConstrainedModelAttacker] = None
         self.random_attacker = RandomAttacker(
             prior_present=1.0 - self.inference.prior_absent(),
             rng=self.rng,
             mode=params.random_attacker_mode,
         )
         obs.metrics.counter("experiment.harnesses_built").inc()
+
+    @property
+    def constrained_attacker(self) -> ConstrainedModelAttacker:
+        """The Figure 7 attacker, selected lazily on first use."""
+        if self._constrained_attacker is None:
+            with self._obs.phase("harness.probe_selection"), self._obs.span(
+                "harness.probe_selection", n_probes=self.params.n_probes
+            ):
+                self._constrained_attacker = ConstrainedModelAttacker(
+                    self.inference,
+                    n_probes=self.params.n_probes,
+                    decision=self.params.constrained_decision,
+                    n_jobs=self.params.selection_n_jobs,
+                )
+        return self._constrained_attacker
 
     @property
     def scoring_stats(self) -> Optional[ScoringStats]:

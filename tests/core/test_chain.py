@@ -125,3 +125,97 @@ class TestPerFlowStepProbabilities:
         rates = np.array([0.1, 0.4])
         p_flows, _ = per_flow_step_probabilities(rates)
         assert p_flows[1] / p_flows[0] == pytest.approx(4.0)
+
+
+class TestSparseInputs:
+    """Sparse-matrix and read-only handling of the chain helpers."""
+
+    def test_evolve_frozen_csr_buffers(self, two_state_matrix):
+        matrix = sparse.csr_matrix(two_state_matrix)
+        matrix.data.setflags(write=False)
+        matrix.indices.setflags(write=False)
+        matrix.indptr.setflags(write=False)
+        out = evolve(point_distribution(2, 0), matrix, 9)
+        assert np.allclose(out, evolve(point_distribution(2, 0), two_state_matrix, 9))
+
+    def test_evolve_does_not_mutate_inputs(self, two_state_matrix):
+        matrix = sparse.csr_matrix(two_state_matrix)
+        data_before = matrix.data.copy()
+        start = np.array([0.25, 0.75])
+        start.setflags(write=False)
+        out = evolve(start, matrix, 5)
+        assert np.array_equal(matrix.data, data_before)
+        assert np.array_equal(start, [0.25, 0.75])
+        assert out.flags.writeable
+
+    def test_evolve_sparse_distribution_row(self, two_state_matrix):
+        row = sparse.csr_matrix(np.array([[0.3, 0.7]]))
+        out = evolve(row, two_state_matrix, 3)
+        assert out.ndim == 1
+        assert np.allclose(out, evolve(np.array([0.3, 0.7]), two_state_matrix, 3))
+
+    def test_validate_frozen_substochastic(self, two_state_matrix):
+        matrix = sparse.csr_matrix(np.array([[0.5, 0.3], [0.1, 0.2]]))
+        matrix.data.setflags(write=False)
+        validate_stochastic(matrix, substochastic=True)
+
+    def test_row_sums_frozen_csr(self, two_state_matrix):
+        matrix = sparse.csr_matrix(two_state_matrix)
+        matrix.data.setflags(write=False)
+        assert np.allclose(row_sums(matrix), [1.0, 1.0])
+
+
+class TestTransitionOperator:
+    def test_dense_and_sparse_agree(self, two_state_matrix):
+        from repro.core.chain import TransitionOperator
+
+        start = np.array([0.6, 0.4])
+        dense_op = TransitionOperator(two_state_matrix)
+        sparse_op = TransitionOperator(sparse.csr_matrix(two_state_matrix))
+        assert not dense_op.is_sparse
+        assert sparse_op.is_sparse
+        assert np.allclose(
+            dense_op.power(start, 13), sparse_op.power(start, 13), atol=1e-14
+        )
+
+    def test_stacked_rows_match_single(self, two_state_matrix):
+        from repro.core.chain import TransitionOperator
+
+        operator = TransitionOperator(sparse.csr_matrix(two_state_matrix))
+        stacked = np.array([[1.0, 0.0], [0.25, 0.75]])
+        powered = operator.power(stacked, 6)
+        for row in range(2):
+            assert np.allclose(
+                powered[row], operator.power(stacked[row], 6), atol=1e-14
+            )
+
+    def test_negative_steps_rejected(self, two_state_matrix):
+        from repro.core.chain import TransitionOperator
+
+        with pytest.raises(ValueError):
+            TransitionOperator(two_state_matrix).power(
+                point_distribution(2, 0), -1
+            )
+
+
+class TestPowerChain:
+    def test_incremental_matches_full(self, two_state_matrix):
+        from repro.core.chain import PowerChain, TransitionOperator
+
+        operator = TransitionOperator(sparse.csr_matrix(two_state_matrix))
+        start = point_distribution(2, 0)
+        chain = PowerChain(operator, start)
+        for steps in (3, 1, 7, 7, 20):
+            incremental = chain.advance(steps)
+            assert np.array_equal(incremental, operator.power(start, steps))
+
+    def test_results_frozen(self, two_state_matrix):
+        from repro.core.chain import PowerChain, TransitionOperator
+
+        chain = PowerChain(
+            TransitionOperator(two_state_matrix), point_distribution(2, 0)
+        )
+        out = chain.advance(4)
+        assert not out.flags.writeable
+        with pytest.raises(ValueError):
+            out[0] = 1.0
