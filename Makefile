@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-full demo examples check lint stats faults-smoke parallel-smoke coverage clean
+.PHONY: install test test-fast bench bench-smoke bench-full demo examples check check-project sanitize-smoke lint stats faults-smoke parallel-smoke coverage clean
 
 install:
 	pip install -e .
@@ -49,7 +49,21 @@ check:
 		echo "mypy not installed; skipping (pip install -e '.[check]')"; \
 	fi
 
-lint: check
+# Whole-program pass (docs/STATIC_ANALYSIS.md, "check --project"):
+# call-graph seed provenance, cross-module escape analysis, worker
+# closures -- enforced against the committed lint-baseline.json (new
+# findings and stale entries both fail).
+check-project:
+	PYTHONPATH=src $(PYTHON) -m repro.cli check --project \
+		--baseline lint-baseline.json src
+
+# Runtime determinism sanitizer smoke (docs/OBSERVABILITY.md): the demo
+# under REPRO_SANITIZE=1 -- frozen cache checksums verified at every
+# phase/span boundary, unseeded default_rng() refused.
+sanitize-smoke:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m repro.cli demo
+
+lint: check check-project
 	PYTHONPATH=src $(PYTHON) -m pytest --collect-only -q tests benchmarks > /dev/null
 
 # Observability smoke (docs/OBSERVABILITY.md): run a tiny instrumented

@@ -1,0 +1,70 @@
+"""Lint runner guard: `make check` must stay fast as rules grow.
+
+The static-analysis pass gates every commit, so its wall time is a
+direct tax on the development loop.  This benchmark pins three things:
+
+* the full per-file pass over ``src/`` stays under a generous absolute
+  budget (it sits around 1.5 s today; the budget leaves ~10x headroom
+  for new rules before the gate starts hurting);
+* the fork-pool fan-out is invisible in the output -- identical
+  findings for every job count;
+* on multi-core machines the pool does not *lose* to the serial loop
+  (single-core boxes, like the CI floor, auto-resolve to serial and
+  skip the comparison).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_checks
+from repro.experiments.report import format_table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+#: Absolute wall-clock budget for one full serial pass over src/.
+MAX_SERIAL_SECONDS = 15.0
+
+#: A pool may cost at most this factor over serial before it is a bug.
+MAX_POOL_SLOWDOWN = 1.5
+
+
+def _timed(jobs):
+    start = time.perf_counter()
+    findings = run_checks([SRC], jobs=jobs)
+    return findings, time.perf_counter() - start
+
+
+def test_bench_lint_file_pass(benchmark, print_section):
+    serial_findings, serial_seconds = _timed(1)
+    pooled_findings, pooled_seconds = benchmark.pedantic(
+        lambda: _timed(4), rounds=1, iterations=1
+    )
+
+    print_section(
+        format_table(
+            ["run", "seconds"],
+            [
+                ["serial file pass (src/)", serial_seconds],
+                ["pooled file pass (jobs=4)", pooled_seconds],
+            ],
+            title="Lint runner wall time",
+        )
+    )
+
+    # Determinism first: the fan-out must not change a single finding.
+    assert pooled_findings == serial_findings == []
+    assert serial_seconds < MAX_SERIAL_SECONDS, (
+        f"serial lint pass took {serial_seconds:.1f}s; the check gate "
+        f"budget is {MAX_SERIAL_SECONDS:.0f}s -- profile the newest rules"
+    )
+    if (os.cpu_count() or 1) >= 2:
+        assert pooled_seconds < serial_seconds * MAX_POOL_SLOWDOWN, (
+            f"fork-pool pass ({pooled_seconds:.2f}s) lost badly to "
+            f"serial ({serial_seconds:.2f}s)"
+        )

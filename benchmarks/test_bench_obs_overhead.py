@@ -126,3 +126,54 @@ def test_null_backend_overhead_under_5_percent(model):
     # Instrumentation must be observation-only: identical selection.
     assert null_choice.probes == recorded.probes
     assert null_choice.gain == recorded.gain
+
+
+def test_disabled_sanitizer_overhead_not_measurable(model):
+    """With the sanitizer off, its hooks must not tax the hot path.
+
+    Every sanitizer hook is one gated call (``sanitize.is_active()``,
+    a module-global read).  Hooks fire on cache *construction* paths
+    (evolutions, prefix extensions, coverage/probe-matrix builds), so
+    the same cost model as the null-backend test applies: measured
+    per-gate cost times the number of cache events in a full selection
+    must stay under 5% of the selection's wall time.
+    """
+    from repro.obs import sanitize
+
+    assert not sanitize.is_active()
+
+    # Count the gated cache events a full selection performs.
+    inference = _fresh_inference(model)
+    best_probe_set(inference, 2)
+    n_hook_calls = (
+        inference.counters["evolutions"]
+        + inference.counters["prefix_cache_misses"]
+        + inference.counters["prefix_extensions"]
+        # coverage + probe-matrix builds: one pair per distinct flow.
+        + 2 * N_FLOWS
+    )
+    assert n_hook_calls > 0
+
+    # Best-of-3 per-call cost of the disabled gate.
+    is_active = sanitize.is_active
+    iterations = 200_000
+    gate_best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(iterations):
+            is_active()
+        gate_best = min(gate_best, time.perf_counter() - start)
+    gate_cost = gate_best / iterations
+
+    selection_best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        best_probe_set(_fresh_inference(model), 2)
+        selection_best = min(selection_best, time.perf_counter() - start)
+
+    hook_cost = n_hook_calls * gate_cost
+    assert hook_cost < 0.05 * selection_best, (
+        f"{n_hook_calls} disabled sanitizer gates cost "
+        f"{hook_cost * 1e3:.3f}ms, >5% of the "
+        f"{selection_best * 1e3:.1f}ms selection"
+    )

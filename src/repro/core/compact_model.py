@@ -55,6 +55,7 @@ from repro.core.recency import (
 )
 from repro.flows.policy import Policy
 from repro.flows.universe import FlowUniverse
+from repro.obs import sanitize
 
 #: Flow tag used for the no-arrival event in transition entries.
 NO_FLOW = -1
@@ -178,6 +179,8 @@ class CompactModel:
             )
             cached.setflags(write=False)
             self._membership_matrix = cached
+        if sanitize.is_active():
+            sanitize.guard_array("compact.membership_matrix", cached)
         return cached
 
     def state_popcounts(self) -> np.ndarray:
@@ -191,6 +194,8 @@ class CompactModel:
             )
             cached.setflags(write=False)
             self._state_popcounts = cached
+        if sanitize.is_active():
+            sanitize.guard_array("compact.state_popcounts", cached)
         return cached
 
     def coverage_vector(self, flow: int) -> np.ndarray:
@@ -208,6 +213,8 @@ class CompactModel:
             # (runtime complement of lint rule MUT001).
             cached.setflags(write=False)
             self._coverage_cache[flow] = cached
+        if sanitize.is_active():
+            sanitize.guard_array(f"compact.coverage[{flow}]", cached)
         return cached
 
     def coverage_matrix(self, flows: Iterable[int]) -> np.ndarray:
@@ -241,7 +248,14 @@ class CompactModel:
                 (probs, (rows, cols)), shape=(self.n_states, self.n_states)
             ).tocsr()
             validate_stochastic(cached)
+            # Frozen like the transition CSR buffers: the matrix is
+            # aliased to every caller (runtime complement of MUT001).
+            cached.data.setflags(write=False)
+            cached.indices.setflags(write=False)
+            cached.indptr.setflags(write=False)
             self._probe_matrix_cache[flow] = cached
+        if sanitize.is_active():
+            sanitize.guard_array(f"compact.probe[{flow}].data", cached.data)
         return cached
 
     # ------------------------------------------------------------------
@@ -468,6 +482,9 @@ class CompactModel:
             matrix.indptr.setflags(write=False)
         validate_stochastic(matrix, substochastic=bool(key))
         self._matrix_cache[key] = matrix
+        if sanitize.is_active():
+            buffer = matrix if self.kernel.name == "dense" else matrix.data
+            sanitize.guard_array(f"compact.transition[{key}]", buffer)
         return matrix
 
     def transition_operator(

@@ -23,6 +23,7 @@ import numpy as np
 
 from repro.core.chain import evolve
 from repro.core.compact_model import CompactModel
+from repro.obs import sanitize
 from repro.core.gain import (
     Outcome,
     binary_entropy,
@@ -131,6 +132,9 @@ class ReconInference:
             self.dist_full = self.evolution(())
         #: Substochastic weighting: mass[state] = P(X̂=0 ∧ state).
         self.dist_absent = self.evolution((self.target_flow,))
+        if sanitize.is_active():
+            sanitize.guard_array("inference.dist_full", self.dist_full)
+            sanitize.guard_array("inference.dist_absent", self.dist_absent)
         self._table_cache: Dict[Tuple[int, ...], OutcomeTable] = {}
 
     # ------------------------------------------------------------------
@@ -162,6 +166,8 @@ class ReconInference:
         )
         dist = chain.advance(self.window_steps)
         self._evolution_cache[key] = dist
+        if sanitize.is_active():
+            sanitize.guard_array(f"inference.evolution[{key}]", dist)
         return dist
 
     def prefix_distribution(
@@ -195,6 +201,8 @@ class ReconInference:
             rows = self._extend_prefix(parent, probes[-1])
         rows.setflags(write=False)
         self._prefix_cache[key] = rows
+        if sanitize.is_active():
+            sanitize.guard_array(f"inference.prefix[{key}]", rows)
         return rows
 
     def _extend_prefix(self, parent: np.ndarray, flow: int) -> np.ndarray:

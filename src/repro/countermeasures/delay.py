@@ -15,8 +15,9 @@ first packets -- is directly measurable here via
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
+import numpy as np
 
 from repro.countermeasures.base import Defense
 from repro.flows.flowid import FlowId
@@ -53,9 +54,14 @@ class DelayDefense(Defense):
         self.delays_added = 0.0
         self.packets_delayed = 0
         self._network: "Network" = None  # type: ignore[assignment]
+        #: Own stream, spawned off the network's seed tree at attach:
+        #: drawing from ``network.rng`` directly would interleave the
+        #: defense's samples with the simulator's (SEED102).
+        self._rng: Optional[np.random.Generator] = None
 
     def attach(self, network: "Network") -> None:
         self._network = network
+        self._rng = network.rng.spawn(1)[0]
 
     def _participates(self, switch: "Switch", packet: "Packet") -> bool:
         """Only reactively handled flows at the ingress are defended.
@@ -88,8 +94,8 @@ class DelayDefense(Defense):
         count, _ = self._seen.get(packet.flow, (1, 0.0))
         if count > self.first_k:
             return 0.0
-        rng = self._network.rng
-        delay = float(rng.normal(self.delay_mean, self.delay_std))
+        assert self._rng is not None, "attach() must run before forwarding"
+        delay = float(self._rng.normal(self.delay_mean, self.delay_std))
         delay = max(delay, self.delay_mean * 0.1)
         self.delays_added += delay
         self.packets_delayed += 1

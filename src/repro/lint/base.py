@@ -10,7 +10,7 @@ from typing import ClassVar, Dict, FrozenSet, Iterator, List, Optional, Union
 AnyFunctionDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
 
 from repro.lint.findings import Finding
-from repro.lint.noqa import parse_noqa
+from repro.lint.noqa import expand_suppressions, parse_noqa
 
 
 @dataclass
@@ -36,7 +36,7 @@ class ModuleSource:
             path=path,
             source=source,
             tree=tree,
-            suppressions=parse_noqa(source),
+            suppressions=expand_suppressions(tree, parse_noqa(source)),
         )
 
 

@@ -1,0 +1,31 @@
+"""The finding record emitted by project-level rules.
+
+Identical to the per-file :class:`repro.lint.findings.Finding` plus a
+``symbol`` -- the qualified name of the function, method, or class the
+violation lives in.  The symbol is what makes baseline entries stable:
+line numbers drift with every edit, but ``repro.countermeasures.delay.
+DelayDefense.forward_delay`` keeps naming the same code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.lint.findings import Finding
+
+
+@dataclass(frozen=True, order=True)
+class ProjectFinding(Finding):
+    """One whole-program rule violation, anchored to a symbol."""
+
+    symbol: str = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        payload = super().to_json()
+        payload["symbol"] = self.symbol
+        return payload
+
+    def render(self) -> str:
+        location = super().render()
+        return f"{location} [{self.symbol}]" if self.symbol else location

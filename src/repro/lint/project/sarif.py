@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 rendering of project findings.
+
+SARIF is the interchange format code-scanning UIs ingest (GitHub code
+scanning among them); emitting it lets ``repro-sdn check --project``
+annotate pull requests without any adapter.  The document targets the
+2.1.0 schema: one run, one tool driver listing the project rules, one
+``result`` per finding with a physical location.  Paths are emitted
+relative to the repository root when possible, as code-scanning
+matching is path-suffix based.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.project.findings import ProjectFinding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-sdn-lint"
+TOOL_URI = "https://example.invalid/repro-sdn/docs/STATIC_ANALYSIS.md"
+
+
+def _relative_uri(path: str, root: Optional[str]) -> str:
+    candidate = Path(path)
+    if root is not None:
+        try:
+            candidate = candidate.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def to_sarif(
+    findings: Sequence[ProjectFinding],
+    rules: Iterable[Tuple[str, str]],
+    repo_root: Optional[str] = None,
+) -> Dict:
+    """The findings as a SARIF 2.1.0 document (a plain dict).
+
+    ``rules`` is ``(rule id, summary)`` pairs for the tool's rule
+    catalog; rules that produced no findings are still listed, so the
+    consumer can distinguish "checked and clean" from "not checked".
+    """
+    rule_list = sorted(dict(rules).items())
+    rule_index = {rule_id: i for i, (rule_id, _) in enumerate(rule_list)}
+    results: List[Dict] = []
+    for finding in findings:
+        result: Dict = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _relative_uri(finding.path, repo_root),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    },
+                    "logicalLocations": [
+                        {
+                            "fullyQualifiedName": finding.symbol,
+                            "kind": "function",
+                        }
+                    ],
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "rules": [
+                            {
+                                "id": rule_id,
+                                "shortDescription": {"text": summary},
+                            }
+                            for rule_id, summary in rule_list
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -1,0 +1,298 @@
+"""SEED101/102/103 -- RNG seed provenance across module boundaries.
+
+The determinism contract (DETERMINISM.md) is that every
+``numpy.random.Generator`` in a run derives from the one seed the CLI
+was given.  Per-file rules can check a module's own ``default_rng``
+calls, but the contract is a *flow* property: the seed threads from
+``repro.cli`` down through experiment configs, network constructors,
+and countermeasure attach points.  Three rules check that flow on the
+project graph:
+
+* **SEED101** -- an entropy fallback is reachable from a CLI entry
+  point: ``default_rng(p)`` where ``p`` defaults to ``None`` and some
+  transitive call chain rooted in ``repro.cli`` leaves it unbound (or
+  passes a literal ``None``), so the run silently draws OS entropy.
+  Locally guarded parameters (``if p is None: p = DEFAULT`` or an
+  ``x if p is None else y`` seed expression) are provenance-correct and
+  not flagged.
+* **SEED102** -- hidden generator coupling: a component draws from a
+  generator it reaches through another object (``self._network.rng.
+  normal(...)``).  The draw interleaves two components' streams, so
+  adding a draw in one silently shifts the other's numbers.  Components
+  must own a generator (spawned or seeded at attach/init) instead.
+* **SEED103** -- a constant-seeded ``default_rng`` inside a fork-pool
+  worker closure: every worker starts the *same* stream, so parallel
+  trials are secretly correlated.  Workers must consume pre-drawn seeds
+  from their task items.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.project.findings import ProjectFinding
+from repro.lint.project.graph import (
+    GENERATOR_ATTRS,
+    CallSite,
+    FunctionInfo,
+    ProjectGraph,
+    RngSite,
+)
+
+SEED101 = "SEED101"
+SEED102 = "SEED102"
+SEED103 = "SEED103"
+
+
+def _finding(
+    graph: ProjectGraph,
+    info: FunctionInfo,
+    node: ast.AST,
+    rule: str,
+    message: str,
+) -> ProjectFinding:
+    return ProjectFinding(
+        path=graph.module_of(info).path,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        rule=rule,
+        message=message,
+        symbol=info.qname,
+    )
+
+
+# ----------------------------------------------------------------------
+# SEED101: entropy fallback reachable from the CLI
+# ----------------------------------------------------------------------
+def _locally_guarded(info: FunctionInfo, param: str) -> bool:
+    """True when ``param`` is re-bound against ``None`` before use."""
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.If) and _compares_none(node.test, param):
+            for inner in ast.walk(node):
+                if (
+                    isinstance(inner, ast.Name)
+                    and inner.id == param
+                    and isinstance(inner.ctx, ast.Store)
+                ):
+                    return True
+        if isinstance(node, ast.Assign):
+            if any(
+                isinstance(target, ast.Name) and target.id == param
+                for target in node.targets
+            ) and isinstance(node.value, (ast.IfExp, ast.BoolOp)):
+                return True
+    return False
+
+
+def _compares_none(test: ast.expr, param: str) -> bool:
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return False
+    left, right = test.left, test.comparators[0]
+    names = [n for n in (left, right) if isinstance(n, ast.Name)]
+    consts = [n for n in (left, right) if isinstance(n, ast.Constant)]
+    return (
+        isinstance(test.ops[0], (ast.Is, ast.IsNot))
+        and any(n.id == param for n in names)
+        and any(c.value is None for c in consts)
+    )
+
+
+def _argument_for(
+    site: CallSite, callee: FunctionInfo, param: str
+) -> Tuple[str, Optional[ast.expr]]:
+    """How one call site binds ``param``: ``(kind, expression)``.
+
+    ``kind`` is ``"expr"`` (bound to the returned expression),
+    ``"unbound"`` (default applies), or ``"unknown"`` (``*args`` /
+    ``**kwargs`` forwarding -- assumed bound).
+    """
+    call = site.node
+    try:
+        index = callee.params.index(param)
+    except ValueError:  # pragma: no cover - facts built from params
+        return "unknown", None
+    written = index - site.param_offset
+    positional = [a for a in call.args if not isinstance(a, ast.Starred)]
+    if 0 <= written < len(positional):
+        return "expr", positional[written]
+    for keyword in call.keywords:
+        if keyword.arg == param:
+            return "expr", keyword.value
+    if len(positional) != len(call.args):
+        return "unknown", None
+    if any(keyword.arg is None for keyword in call.keywords):
+        return "unknown", None
+    return "unbound", None
+
+
+class _NoneFlow:
+    """Answers: can this parameter be ``None`` on an entry-reachable path?"""
+
+    def __init__(self, graph: ProjectGraph, reachable: Set[str]) -> None:
+        self.graph = graph
+        self.reachable = reachable
+        self._memo: Dict[Tuple[str, str], Optional[str]] = {}
+
+    def evidence(self, qname: str, param: str) -> Optional[str]:
+        """A ``caller (path:line)`` description, or ``None`` if clean."""
+        key = (qname, param)
+        if key in self._memo:
+            return self._memo[key]
+        self._memo[key] = None  # cycle guard: assume clean while open
+        callee = self.graph.functions.get(qname)
+        if callee is None:
+            return None
+        result: Optional[str] = None
+        for site in sorted(
+            self.graph.callers.get(qname, ()),
+            key=lambda s: (s.caller, s.node.lineno, s.node.col_offset),
+        ):
+            if site.caller not in self.reachable:
+                continue
+            caller = self.graph.functions.get(site.caller)
+            if caller is None:
+                continue
+            kind, expression = _argument_for(site, callee, param)
+            where = (
+                f"{site.caller} "
+                f"({self.graph.module_of(caller).path}:{site.node.lineno})"
+            )
+            if kind == "unbound":
+                if param in callee.none_default_params:
+                    result = where
+                    break
+                continue
+            if kind == "unknown" or expression is None:
+                continue
+            if (
+                isinstance(expression, ast.Constant)
+                and expression.value is None
+            ):
+                result = where
+                break
+            if (
+                isinstance(expression, ast.Name)
+                and expression.id in caller.params
+                and expression.id in caller.none_default_params
+                and not _locally_guarded(caller, expression.id)
+            ):
+                upstream = self.evidence(site.caller, expression.id)
+                if upstream is not None:
+                    result = upstream
+                    break
+        self._memo[key] = result
+        return result
+
+
+def check_seed_provenance(graph: ProjectGraph) -> List[ProjectFinding]:
+    """SEED101 over every ``default_rng(param)`` site in the project."""
+    findings: List[ProjectFinding] = []
+    reachable = graph.reachable(graph.entry_points())
+    flow = _NoneFlow(graph, reachable)
+    for info in graph.iter_functions():
+        if info.qname not in reachable:
+            continue
+        for site in info.rng_sites:
+            if site.kind not in ("param", "param_none_default"):
+                continue
+            assert site.param is not None
+            if _locally_guarded(info, site.param):
+                continue
+            evidence = flow.evidence(info.qname, site.param)
+            if evidence is None and site.kind == "param_none_default":
+                # A None default with *no* project caller binding it is
+                # only suspicious if someone actually calls it; entry
+                # functions themselves are invoked by argparse, which
+                # the graph cannot see -- stay quiet there.
+                continue
+            if evidence is not None:
+                findings.append(
+                    _finding(
+                        graph,
+                        info,
+                        site.node,
+                        SEED101,
+                        f"default_rng({site.param}) can receive None from "
+                        f"{evidence}, falling back to OS entropy; thread "
+                        "the run seed down or guard the parameter",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SEED102: hidden generator coupling
+# ----------------------------------------------------------------------
+def check_generator_coupling(graph: ProjectGraph) -> List[ProjectFinding]:
+    findings: List[ProjectFinding] = []
+    for info in graph.iter_functions():
+        for draw in info.draw_sites:
+            chain = draw.chain
+            if (
+                len(chain) >= 3
+                and chain[0] == "self"
+                and chain[-1] in GENERATOR_ATTRS
+            ):
+                owner = ".".join(chain[:-1])
+                findings.append(
+                    _finding(
+                        graph,
+                        info,
+                        draw.node,
+                        SEED102,
+                        f"draws '{draw.method}' from {owner}'s generator "
+                        f"('{'.'.join(chain)}'); the draw interleaves two "
+                        "components' streams -- own a generator spawned "
+                        "from it at attach/init instead",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# SEED103: constant worker seeds
+# ----------------------------------------------------------------------
+def check_worker_seeds(graph: ProjectGraph) -> List[ProjectFinding]:
+    findings: List[ProjectFinding] = []
+    seen: Set[Tuple[str, int, int]] = set()
+    for info in graph.iter_functions():
+        for dispatch in info.pool_dispatches:
+            roots = [
+                qname
+                for qname in (
+                    dispatch.worker_qname,
+                    dispatch.initializer_qname,
+                )
+                if qname is not None
+            ]
+            if not roots:
+                continue
+            for member_qname in sorted(graph.closure(roots)):
+                member = graph.functions.get(member_qname)
+                if member is None:
+                    continue
+                for site in member.rng_sites:
+                    if site.kind != "constant":
+                        continue
+                    key = (
+                        member_qname,
+                        site.node.lineno,
+                        site.node.col_offset,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    findings.append(
+                        _finding(
+                            graph,
+                            member,
+                            site.node,
+                            SEED103,
+                            "constant-seeded default_rng in the worker "
+                            f"closure of {dispatch.caller}: every pool "
+                            "worker repeats the same stream -- consume a "
+                            "pre-drawn seed from the task item",
+                        )
+                    )
+    return findings

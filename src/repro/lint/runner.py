@@ -1,7 +1,19 @@
-"""File discovery, rule orchestration, and noqa filtering."""
+"""File discovery, rule orchestration, noqa filtering, and fan-out.
+
+``run_checks`` is the per-file pass: every rule over every file.  The
+file pass is embarrassingly parallel -- each file is parsed and checked
+independently -- so with ``jobs`` unset it fans out over a fork pool
+sized to the machine (capped; see :data:`MAX_AUTO_JOBS`) and falls back
+to the serial loop on any pool failure.  Findings are sorted after the
+merge, so the output is **byte-identical for every job count** -- the
+same determinism contract the experiment fan-out keeps
+(EXPERIMENTS.md), pinned by ``tests/lint/test_runner.py`` and the
+``benchmarks/test_bench_lint.py`` guard.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence
@@ -16,6 +28,13 @@ SKIPPED_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
 
 #: Pseudo-rule for unparsable files (cannot be noqa'd away).
 SYNTAX_RULE = "SYN001"
+
+#: Auto-sized pools never exceed this many workers: lint is I/O-light
+#: and per-file work is small, so wide pools just pay fork cost.
+MAX_AUTO_JOBS = 8
+
+#: Fewer files than this and the fork pool cannot pay for itself.
+MIN_FILES_FOR_POOL = 16
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
@@ -87,13 +106,76 @@ def check_file(
     return check_source(str(path), source, select=select)
 
 
+# ----------------------------------------------------------------------
+# Parallel file pass
+# ----------------------------------------------------------------------
+#: Rule selection for pool workers, installed by the initializer (the
+#: sanctioned fork-inherited read-only context; findings flow back as
+#: return values, never through shared state).
+_WORKER_SELECT: Optional[List[str]] = None
+
+
+def _init_lint_worker(select: Optional[List[str]]) -> None:
+    global _WORKER_SELECT
+    _WORKER_SELECT = select
+
+
+def _lint_file_work(path: str) -> List[Finding]:
+    """Check one file in a pool worker (pure function of the path)."""
+    return check_file(Path(path), select=_WORKER_SELECT)
+
+
+def resolve_jobs(jobs: Optional[int], n_files: int) -> int:
+    """The worker count to actually use for ``n_files`` files.
+
+    ``None`` auto-sizes to the machine (capped at
+    :data:`MAX_AUTO_JOBS`), and tiny file sets always run serially --
+    the fork cost dwarfs the work.
+    """
+    if jobs is None:
+        jobs = min(os.cpu_count() or 1, MAX_AUTO_JOBS)
+    jobs = max(1, int(jobs))
+    if n_files < MIN_FILES_FOR_POOL:
+        return 1
+    return min(jobs, n_files)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    """The fork start method, or ``None`` where unavailable."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return None
+
+
 def run_checks(
     paths: Sequence[str],
     select: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
 ) -> List[Finding]:
-    """Check every Python file under ``paths``; findings sorted."""
+    """Check every Python file under ``paths``; findings sorted.
+
+    ``jobs`` controls the file-pass fan-out: ``1`` forces the serial
+    loop, ``None`` auto-sizes a fork pool to the machine.  The merged
+    finding list is sorted either way, so output order never depends on
+    the job count; any pool failure silently degrades to serial.
+    """
     selected = [rule.rule_id for rule in _select_rules(select)]
+    files = [str(path) for path in iter_python_files(paths)]
+    n_jobs = resolve_jobs(jobs, len(files))
+    fork = _fork_context() if n_jobs > 1 else None
+    per_file: Optional[List[List[Finding]]] = None
+    if fork is not None:
+        try:
+            with fork.Pool(
+                n_jobs, initializer=_init_lint_worker, initargs=(selected,)
+            ) as pool:
+                per_file = pool.map(_lint_file_work, files)
+        except Exception:
+            per_file = None  # lint is pure per file; redo serially
+    if per_file is None:
+        per_file = [check_file(Path(path), select=selected) for path in files]
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(check_file(path, select=selected))
+    for file_findings in per_file:
+        findings.extend(file_findings)
     return sorted(findings)

@@ -42,9 +42,34 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
 )
 from repro.obs.profile import NullPhaseProfiler, Phase, PhaseProfiler
+from repro.obs.sanitize import checkpoint as _sanitize_checkpoint
+from repro.obs.sanitize import is_active as _sanitize_active
 from repro.obs.trace import NullTracer, Span, Tracer
 
 PathLike = Union[str, Path]
+
+
+class _SanitizedBoundary:
+    """Wraps a span/phase so the determinism sanitizer checks fire on
+    clean exit (see :mod:`repro.obs.sanitize`); built only while the
+    sanitizer is active, so the disabled path never allocates."""
+
+    __slots__ = ("_inner", "_label")
+
+    def __init__(self, inner: object, label: str) -> None:
+        self._inner = inner
+        self._label = label
+
+    def __enter__(self) -> object:
+        return self._inner.__enter__()  # type: ignore[attr-defined]
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> object:
+        result = self._inner.__exit__(  # type: ignore[attr-defined]
+            exc_type, exc, tb
+        )
+        if exc_type is None:
+            _sanitize_checkpoint(self._label)
+        return result
 
 
 class Instrumentation:
@@ -76,10 +101,18 @@ class Instrumentation:
 
     def span(self, name: str, **attrs: object) -> Span:
         """Open a trace span (context manager)."""
+        if _sanitize_active():
+            return _SanitizedBoundary(  # type: ignore[return-value]
+                self.tracer.span(name, **attrs), f"span:{name}"
+            )
         return self.tracer.span(name, **attrs)
 
     def phase(self, name: str) -> Phase:
         """Open a wall/CPU profiling phase (context manager)."""
+        if _sanitize_active():
+            return _SanitizedBoundary(  # type: ignore[return-value]
+                self.profiler.phase(name), f"phase:{name}"
+            )
         return self.profiler.phase(name)
 
     # -- export --------------------------------------------------------
@@ -163,9 +196,9 @@ def counter_inc(name: str, value: int = 1) -> None:
 
 def span(name: str, **attrs: object) -> Span:
     """Open a span on the *current* instrumentation."""
-    return _current.tracer.span(name, **attrs)
+    return _current.span(name, **attrs)
 
 
 def phase(name: str) -> Phase:
     """Open a profiling phase on the *current* instrumentation."""
-    return _current.profiler.phase(name)
+    return _current.phase(name)

@@ -42,6 +42,7 @@ from repro.flows.rules import (
     RuleTable,
 )
 from repro.flows.universe import FlowUniverse
+from repro.obs import sanitize
 from repro.simulator.controller import ReactiveController
 from repro.simulator.events import Simulator
 from repro.simulator.messages import ECHO_REPLY, ECHO_REQUEST, Packet
@@ -135,6 +136,8 @@ class Network:
             if rng is not None
             else np.random.default_rng(DEFAULT_SEED if seed is None else seed)
         )
+        if sanitize.is_active():
+            sanitize.guard_rng("network.rng", self.rng)
         self.topology = topology if topology is not None else stanford_backbone()
         validate_topology(self.topology)
         self.universe = universe

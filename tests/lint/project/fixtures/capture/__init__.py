@@ -1,0 +1,1 @@
+"""PAR101 fixture: captures hiding in the worker's transitive closure."""

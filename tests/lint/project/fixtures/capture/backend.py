@@ -1,0 +1,19 @@
+"""A miniature ambient-backend module (the repro.obs shape)."""
+
+
+class Instrumentation:
+    def record(self, name):
+        return name
+
+
+OBS = Instrumentation()
+
+
+def get_instrumentation():
+    # In the worker closure this read is itself a capture; only the
+    # real package's ``<pkg>.obs`` modules are exempt.
+    return OBS  # expect[PAR101]
+
+
+def use_instrumentation(obs):
+    return obs

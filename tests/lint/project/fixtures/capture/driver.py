@@ -1,0 +1,15 @@
+"""The pool dispatches, in a different module from every worker."""
+
+from multiprocessing import get_context
+
+from capture.workers import safe_work, work
+
+
+def run(items):
+    with get_context("fork").Pool(2) as pool:
+        return pool.map(work, items)
+
+
+def run_safe(items):
+    with get_context("fork").Pool(2) as pool:
+        return pool.map(safe_work, items)

@@ -1,0 +1,12 @@
+"""Helpers three frames from the dispatch; both capture parent state."""
+
+from capture.backend import OBS, get_instrumentation
+
+
+def accumulate(value):
+    OBS.record("accumulate")  # expect[PAR101]
+    return value * 2
+
+
+def fetch_backend():
+    return get_instrumentation()  # expect[PAR101]

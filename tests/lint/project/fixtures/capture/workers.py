@@ -1,0 +1,24 @@
+"""Dispatched workers: one tainted transitively, one sanctioned."""
+
+from capture.backend import Instrumentation, use_instrumentation
+from capture.helpers import accumulate, fetch_backend
+
+
+def work(item):
+    backend = fetch_backend()
+    return accumulate(item), backend
+
+
+def isolate(value):
+    return get_fresh().record(value)
+
+
+def get_fresh():
+    return Instrumentation()
+
+
+def safe_work(item):
+    # The sanctioned pattern: install a fresh backend in the worker.
+    obs = Instrumentation()
+    with use_instrumentation(obs):
+        return isolate(item)

@@ -1,0 +1,1 @@
+"""SEED102 fixture: hidden generator coupling through stored objects."""

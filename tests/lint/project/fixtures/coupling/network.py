@@ -1,0 +1,8 @@
+"""The component whose generator gets borrowed."""
+
+import numpy as np
+
+
+class Network:
+    def __init__(self, seed):
+        self.rng = np.random.default_rng(seed)

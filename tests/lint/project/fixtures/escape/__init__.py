@@ -1,0 +1,1 @@
+"""MUT101/MUT102 fixture: frozen cache arrays escaping across edges."""

@@ -1,0 +1,13 @@
+"""The escape sites: cache arrays handed to mutating callees."""
+
+from escape import stats
+from escape.model import Model
+
+
+def run(model: Model):
+    dist = model.evolution()
+    direct = stats.normalize(dist)  # expect[MUT101]
+    transitive = stats.shift(dist)  # expect[MUT101]
+    clean = stats.total(dist)
+    safe = stats.normalize(dist.copy())
+    return direct, transitive, clean, safe

@@ -1,0 +1,16 @@
+"""The stash-then-write pair MUT102 exists for."""
+
+from escape.model import Model
+
+
+class Holder:
+    def __init__(self, model: Model):
+        self._cached = model.evolution()
+        self._own = model.evolution().copy()
+
+    def corrupt(self):
+        self._cached[0] = 1.0  # expect[MUT102]
+
+    def fine(self):
+        # Writing the copied attribute is legitimate.
+        self._own[0] = 1.0

@@ -1,0 +1,12 @@
+"""A cache accessor in the compact-model style: frozen, aliased."""
+
+import numpy as np
+
+
+class Model:
+    def __init__(self):
+        self._dist = np.ones(4) / 4.0
+        self._dist.setflags(write=False)
+
+    def evolution(self):
+        return self._dist

@@ -1,0 +1,20 @@
+"""Helpers that mutate their array parameter, directly or one hop down."""
+
+
+def normalize(vec):
+    vec /= vec.sum()
+    return vec
+
+
+def shift(vec):
+    return rescale(vec)
+
+
+def rescale(arr):
+    arr[0] = 0.0
+    return arr
+
+
+def total(vec):
+    # Read-only: passing a cache array here is fine.
+    return float(vec.sum())

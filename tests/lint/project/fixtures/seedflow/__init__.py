@@ -1,0 +1,1 @@
+"""SEED101 fixture: an entropy fallback reachable from the CLI."""

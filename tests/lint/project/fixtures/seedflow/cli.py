@@ -1,0 +1,8 @@
+"""Entry module: last name component ``cli`` marks the entry roots."""
+
+from seedflow import experiments
+
+
+def main():
+    # Leaves ``seed`` unbound -- the None default flows two hops down.
+    return experiments.run_experiment()

@@ -1,0 +1,10 @@
+"""Middle layer: forwards its maybe-None seed into the RNG factories."""
+
+from seedflow import network
+
+
+def run_experiment(seed=None):
+    generator = network.make_generator(seed)
+    guarded = network.make_guarded(seed)
+    explicit = network.sample(None)
+    return generator, guarded, explicit

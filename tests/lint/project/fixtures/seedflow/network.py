@@ -1,0 +1,18 @@
+"""Leaf layer: the ``default_rng`` construction sites."""
+
+from numpy.random import default_rng
+
+
+def make_generator(seed=None):
+    return default_rng(seed)  # expect[SEED101]
+
+
+def make_guarded(seed=None):
+    # Locally guarded: provenance-correct, must NOT fire.
+    if seed is None:
+        seed = 0
+    return default_rng(seed)
+
+
+def sample(gen_seed):
+    return default_rng(gen_seed).random()  # expect[SEED101]

@@ -1,0 +1,1 @@
+"""SEED103 fixture: a constant worker seed two modules from the pool."""

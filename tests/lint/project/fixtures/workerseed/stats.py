@@ -1,0 +1,13 @@
+"""The helper hiding the constant seed inside the worker closure."""
+
+from numpy.random import default_rng
+
+
+def summarize(item):
+    rng = default_rng(1234)  # expect[SEED103]
+    return rng.random() + item
+
+
+def seeded_from_item(item_seed):
+    # Pre-drawn seeds from the task item are the sanctioned pattern.
+    return default_rng(item_seed).random()

@@ -1,0 +1,7 @@
+"""The dispatched worker: clean itself, tainted one call down."""
+
+from workerseed.stats import summarize
+
+
+def work(item):
+    return summarize(item)

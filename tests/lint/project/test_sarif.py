@@ -1,0 +1,199 @@
+"""SARIF 2.1.0 output shape, validated against an embedded schema.
+
+The full OASIS schema is ~200 KB and cannot be fetched in an offline
+test run, so the structural subset below pins exactly the fields a
+code-scanning consumer reads: ``$schema``/``version``, one run with a
+tool driver carrying a rule catalog, and results with a physical
+location, a region, and a logical location.  ``additionalProperties``
+stays open (SARIF allows vendor extensions) but every required key and
+type is enforced.
+"""
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.cli import main
+from repro.lint.project import PROJECT_RULES, run_project_checks, to_sarif
+from repro.lint.project.sarif import SARIF_VERSION, TOOL_NAME
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SARIF_SUBSET_SCHEMA = {
+    "type": "object",
+    "required": ["$schema", "version", "runs"],
+    "properties": {
+        "$schema": {"type": "string", "pattern": "sarif-schema-2\\.1\\.0"},
+        "version": {"const": "2.1.0"},
+        "runs": {
+            "type": "array",
+            "minItems": 1,
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name", "rules"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": [
+                                                "id",
+                                                "shortDescription",
+                                            ],
+                                            "properties": {
+                                                "id": {"type": "string"},
+                                                "shortDescription": {
+                                                    "type": "object",
+                                                    "required": ["text"],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["ruleId", "level", "message",
+                                         "locations"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "level": {
+                                    "enum": ["none", "note", "warning",
+                                             "error"],
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "ruleIndex": {
+                                    "type": "integer",
+                                    "minimum": 0,
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "minItems": 1,
+                                    "items": {
+                                        "type": "object",
+                                        "required": ["physicalLocation"],
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "required": [
+                                                    "artifactLocation",
+                                                    "region",
+                                                ],
+                                                "properties": {
+                                                    "artifactLocation": {
+                                                        "type": "object",
+                                                        "required": ["uri"],
+                                                    },
+                                                    "region": {
+                                                        "type": "object",
+                                                        "required": [
+                                                            "startLine",
+                                                        ],
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type":
+                                                                "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    },
+                                                },
+                                            },
+                                            "logicalLocations": {
+                                                "type": "array",
+                                                "items": {
+                                                    "type": "object",
+                                                    "required": [
+                                                        "fullyQualifiedName",
+                                                    ],
+                                                },
+                                            },
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def escape_document():
+    report = run_project_checks(str(FIXTURES / "escape"))
+    assert report.new, "fixture drifted: escape package should have findings"
+    return to_sarif(report.new, PROJECT_RULES)
+
+
+def test_document_validates_against_subset_schema(escape_document):
+    jsonschema.validate(escape_document, SARIF_SUBSET_SCHEMA)
+
+
+def test_driver_lists_every_project_rule(escape_document):
+    driver = escape_document["runs"][0]["tool"]["driver"]
+    assert driver["name"] == TOOL_NAME
+    listed = {rule["id"] for rule in driver["rules"]}
+    assert listed == {rule_id for rule_id, _ in PROJECT_RULES}
+
+
+def test_rule_index_points_at_matching_rule(escape_document):
+    run = escape_document["runs"][0]
+    catalog = run["tool"]["driver"]["rules"]
+    for result in run["results"]:
+        assert catalog[result["ruleIndex"]]["id"] == result["ruleId"]
+
+
+def test_results_carry_symbol_and_location(escape_document):
+    for result in escape_document["runs"][0]["results"]:
+        location = result["locations"][0]
+        assert location["physicalLocation"]["artifactLocation"]["uri"]
+        logical = location["logicalLocations"][0]
+        assert logical["fullyQualifiedName"].startswith("escape.")
+
+
+def test_repo_root_makes_uris_relative():
+    report = run_project_checks(str(FIXTURES / "escape"))
+    document = to_sarif(report.new, PROJECT_RULES, repo_root=str(FIXTURES))
+    for result in document["runs"][0]["results"]:
+        uri = result["locations"][0]["physicalLocation"]["artifactLocation"][
+            "uri"
+        ]
+        assert uri.startswith("escape/")
+        assert "\\" not in uri
+
+
+def test_cli_sarif_output_validates(capsys):
+    code = main(
+        ["check", "--project", "--format", "sarif", str(FIXTURES / "capture")]
+    )
+    assert code == 1
+    document = json.loads(capsys.readouterr().out)
+    jsonschema.validate(document, SARIF_SUBSET_SCHEMA)
+    assert document["version"] == SARIF_VERSION
+    assert {r["ruleId"] for r in document["runs"][0]["results"]} == {"PAR101"}

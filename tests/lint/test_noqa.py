@@ -80,3 +80,61 @@ class TestEndToEndSuppression:
         source = "def broken(:  # repro: noqa\n"
         findings = check_source("<test>", source)
         assert [f.rule for f in findings] == ["SYN001"]
+
+
+class TestStatementSpanSuppression:
+    """A noqa anywhere in a statement covers the whole statement span."""
+
+    def test_noqa_on_closing_line_of_multiline_call(self):
+        # The finding anchors at the call's first line; the comment
+        # sits on the closing parenthesis two lines down.
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            ")  # repro: noqa[RNG001]  -- intentional entropy\n"
+        )
+        assert check_source("mod.py", source) == []
+
+    def test_noqa_on_first_line_covers_later_lines(self):
+        source = (
+            "import numpy as np\n"
+            "values = [\n"
+            "    np.random.rand(),  # repro: noqa[RNG001]\n"
+            "    np.random.rand(),\n"
+            "]\n"
+        )
+        assert check_source("mod.py", source) == []
+
+    def test_noqa_on_decorator_covers_the_def_header(self):
+        source = (
+            "@staticmethod  # repro: noqa[PY001]\n"
+            "def f(cache={}):\n"
+            "    return cache\n"
+        )
+        assert check_source("mod.py", source) == []
+
+    def test_header_noqa_does_not_blanket_the_body(self):
+        # A noqa on the def line must not suppress findings inside the
+        # function body -- only the header span is covered.
+        source = (
+            "def f():  # repro: noqa[PY001]\n"
+            "    return 1.0 == 0.5\n"
+        )
+        findings = check_source("mod.py", source)
+        assert [f.rule for f in findings] == ["PY001"]
+        assert findings[0].line == 2
+
+    def test_wrong_rule_in_span_still_fires(self):
+        source = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            ")  # repro: noqa[PY001]\n"
+        )
+        findings = check_source("mod.py", source)
+        assert [f.rule for f in findings] == ["RNG001"]
+
+    def test_unparsable_source_keeps_line_scope(self):
+        from repro.lint.noqa import expand_suppressions
+
+        supp = {3: frozenset({"RNG001"})}
+        assert expand_suppressions(None, supp) == supp

@@ -84,3 +84,33 @@ class TestSyntaxErrors:
         findings = run_checks([str(tmp_path)])
         assert [f.rule for f in findings] == ["SYN001"]
         assert findings[0].line == 1
+
+
+class TestParallelFilePass:
+    """The fork-pool file pass is invisible in the output."""
+
+    def test_forced_pool_matches_serial(self):
+        paths = [str(FIXTURES)]
+        serial = run_checks(paths, jobs=1)
+        assert serial, "fixtures must produce findings"
+        for jobs in (2, 4):
+            assert run_checks(paths, jobs=jobs) == serial
+
+    def test_auto_jobs_matches_serial_on_src(self):
+        paths = [str(REPO_ROOT / "src")]
+        assert run_checks(paths, jobs=None) == run_checks(paths, jobs=1)
+
+    def test_resolve_jobs_small_file_sets_stay_serial(self):
+        from repro.lint.runner import MIN_FILES_FOR_POOL, resolve_jobs
+
+        assert resolve_jobs(8, MIN_FILES_FOR_POOL - 1) == 1
+        assert resolve_jobs(8, 1000) == 8
+        assert resolve_jobs(1, 1000) == 1
+        assert resolve_jobs(None, 1000) >= 1
+
+    def test_select_threads_through_the_pool(self):
+        paths = [str(FIXTURES / "rng_violations.py"), str(FIXTURES)]
+        serial = run_checks(paths, select=["RNG001"], jobs=1)
+        pooled = run_checks(paths, select=["RNG001"], jobs=2)
+        assert pooled == serial
+        assert all(f.rule == "RNG001" for f in pooled)
