@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-full demo examples check check-project sanitize-smoke lint stats faults-smoke parallel-smoke coverage clean
+.PHONY: install test test-fast bench bench-smoke bench-full demo examples check check-project sanitize-smoke lint stats faults-smoke parallel-smoke serve-smoke coverage clean
 
 install:
 	pip install -e .
@@ -86,7 +86,7 @@ faults-smoke:
 # Parallel-execution smoke (EXPERIMENTS.md "Parallel execution"): the
 # same tiny headline experiment serial and with --trial-jobs 2 must
 # produce identical result documents -- only the recorded fan-out
-# settings (params.trial_jobs, provenance) may differ.  Exercises both
+# settings (params/job trial_jobs, provenance) may differ.  Exercises both
 # fan-out grains (config screening + trials) through the real CLI.
 parallel-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli headline \
@@ -100,8 +100,42 @@ parallel-smoke:
 			('/tmp/repro-parallel-serial.json', '/tmp/repro-parallel-jobs2.json')]; \
 		[d.pop('provenance', None) for d in docs]; \
 		[d['params'].pop('trial_jobs', None) for d in docs]; \
+		[d['job'].pop('trial_jobs', None) for d in docs if d.get('job')]; \
 		assert docs[0] == docs[1], 'parallel run diverged from serial'; \
 		print('parallel-smoke: serial and --trial-jobs 2 documents identical')"
+
+# Service smoke (docs/SERVICE.md): spool three recon jobs, serve under
+# a session budget to simulate a mid-job kill (exit 3), resume to
+# completion, then serve the same spool uninterrupted into a fresh
+# state and require every checkpoint digest to match -- the
+# kill/resume bit-identity contract, end-to-end through the CLI.
+serve-smoke:
+	rm -rf /tmp/repro-serve-smoke
+	for seed in 5 6 7; do \
+		PYTHONPATH=src $(PYTHON) -m repro.cli submit recon \
+			--configs 2 --trials 6 --mode table --n-targets 2 \
+			--seed $$seed --spool /tmp/repro-serve-smoke/spool \
+			|| exit 1; \
+	done
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve \
+		--spool /tmp/repro-serve-smoke/spool \
+		--state /tmp/repro-serve-smoke/state --shards 2 \
+		--max-sessions 3; \
+	test $$? -eq 3
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve \
+		--spool /tmp/repro-serve-smoke/spool \
+		--state /tmp/repro-serve-smoke/state --shards 2
+	PYTHONPATH=src $(PYTHON) -m repro.cli serve \
+		--spool /tmp/repro-serve-smoke/spool \
+		--state /tmp/repro-serve-smoke/reference --shards 2
+	@PYTHONPATH=src $(PYTHON) -c "from repro.service.checkpoint import CheckpointStore; \
+		resumed = CheckpointStore('/tmp/repro-serve-smoke/state'); \
+		reference = CheckpointStore('/tmp/repro-serve-smoke/reference'); \
+		jobs = sorted(resumed.known_jobs()); \
+		assert len(jobs) == 3 and jobs == sorted(reference.known_jobs()), jobs; \
+		bad = [j for j in jobs if resumed.digests(j) != reference.digests(j)]; \
+		assert not bad, f'resumed digests diverged: {bad}'; \
+		print(f'serve-smoke: {len(jobs)} jobs resumed bit-identically')"
 
 # Coverage gate (CI runs this with pytest-cov installed; locally it is
 # skipped with a notice when pytest-cov is absent, like ruff/mypy in

@@ -1,0 +1,197 @@
+"""Service throughput: sessions/sec vs serially looping ``run_trials``.
+
+The service's contract (docs/SERVICE.md) is *same numbers, more
+sessions per second*.  The baseline is what reconnoitring ``N`` targets
+looked like before the service existed: a loop constructing a fresh
+:class:`ConfigHarness` per target and calling ``run_trials()`` -- every
+iteration pays the full per-session setup (transition-entry build,
+both chain evolutions, two probe selections).  A warm
+:class:`ReconService` shares the scenario's :class:`CompactModel` --
+and with it the sorted transition entries, the base power chain, and
+the persistent worker pool -- across sessions, so each additional
+session pays only its own exclusion evolution, probe selection, and
+trials.
+
+Steady-state throughput is measured the way a service runs: one warmup
+job primes the model and the pool, then a second job over *disjoint*
+targets is timed.  Both halves of the contract are pinned:
+
+* every measured session's accuracies equal the serial harness run on
+  the same target with the same ``default_rng([seed, session])``
+  stream (bit-identical numbers);
+* at ``--shards >= 4`` the warm service sustains at least
+  ``MIN_SPEEDUP`` times the baseline's sessions/sec.
+
+``REPRO_BENCH_SERVICE_OUT=<path>`` additionally writes the measured
+numbers as the committed ``BENCH_service.json`` evidence document.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import platform
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from repro.apispec import JobSpec
+from repro.experiments.harness import ConfigHarness
+from repro.experiments.report import format_table
+from repro.flows.config import ConfigGenerator, ConfigParams
+from repro.service import ReconService
+from repro.service.sessions import SESSION_ATTACKERS, eligible_targets
+
+SEED = 2017
+N_WARMUP = 4
+N_SESSIONS = 8
+N_TRIALS = 2
+SHARDS = 4
+MIN_SPEEDUP = 4.0
+
+
+def _bench_spec(**overrides) -> JobSpec:
+    """A setup-heavy job: the paper's 16-flow topology, short window."""
+    fields = dict(
+        experiment="recon",
+        config=ConfigParams(window_seconds=1.0, delta=0.05),
+        n_trials=N_TRIALS,
+        seed=SEED,
+        trial_mode="table",
+        shards=SHARDS,
+    )
+    fields.update(overrides)
+    return JobSpec(**fields)
+
+
+def _split_targets(spec):
+    """(warmup, measured): disjoint target sets on one scenario."""
+    scenario = ConfigGenerator(spec.config, seed=spec.seed).sample()
+    probe = _bench_spec(n_targets=N_WARMUP + N_SESSIONS)
+    targets = eligible_targets(scenario, probe)
+    assert len(targets) == N_WARMUP + N_SESSIONS
+    return scenario, targets[:N_WARMUP], targets[N_WARMUP:]
+
+
+def _serial_baseline(spec, scenario, targets):
+    """The pre-service loop: a fresh harness + ``run_trials()`` each."""
+    params = spec.to_params()
+    accuracies = []
+    start = time.perf_counter()
+    for index, target in enumerate(targets):
+        harness = ConfigHarness(
+            replace(scenario, target_flow=int(target)),
+            params,
+            rng=np.random.default_rng([spec.seed, index]),
+        )
+        accuracies.append(harness.run_trials().accuracies)
+    return accuracies, time.perf_counter() - start
+
+
+def _service_run(warm_spec, measured_spec, state):
+    """Warm the service on one job, then time a disjoint-target job."""
+    service = ReconService(state, shards=SHARDS)
+    try:
+        service.submit(warm_spec)
+        asyncio.run(service.drain())
+        service.submit(measured_spec)
+        start = time.perf_counter()
+        asyncio.run(service.drain())
+        elapsed = time.perf_counter() - start
+        sessions = service.store.completed_sessions(measured_spec.job_id)
+        rows = [sessions[index]["series"]["session"]
+                for index in sorted(sessions)]
+    finally:
+        service.close()
+    return rows, elapsed
+
+
+def test_bench_service_throughput(benchmark, print_section, tmp_path):
+    spec = _bench_spec()
+    scenario, warm_targets, measured_targets = _split_targets(spec)
+    warm_spec = _bench_spec(
+        targets=tuple(int(t) for t in warm_targets), job_id="warmup"
+    )
+    measured_spec = _bench_spec(
+        targets=tuple(int(t) for t in measured_targets), job_id="measured"
+    )
+
+    serial_accuracies, serial_seconds = _serial_baseline(
+        spec, scenario, measured_targets
+    )
+
+    (rows, service_seconds) = benchmark.pedantic(
+        lambda: _service_run(warm_spec, measured_spec, tmp_path / "state"),
+        rounds=1,
+        iterations=1,
+    )
+
+    n = len(measured_targets)
+    assert n == N_SESSIONS
+    serial_rate = n / serial_seconds
+    service_rate = n / service_seconds
+    speedup = service_rate / serial_rate
+
+    print_section(
+        format_table(
+            ["run", "seconds", "sessions/sec"],
+            [
+                [f"serial run_trials loop ({n} sessions)",
+                 serial_seconds, serial_rate],
+                [f"warm service (shards={SHARDS})",
+                 service_seconds, service_rate],
+                ["speedup", "", speedup],
+            ],
+            title="Reconnaissance session throughput",
+        )
+    )
+
+    # Determinism first: the service must not change a single number.
+    # The serial loop also ran the constrained attacker (part of
+    # run_trials' default lineup); the session attackers' accuracies
+    # must match it bit for bit.
+    expected = [
+        {name: accuracies[name] for name in SESSION_ATTACKERS}
+        for accuracies in serial_accuracies
+    ]
+    assert [row["accuracies"] for row in rows] == expected
+
+    out = os.environ.get("REPRO_BENCH_SERVICE_OUT")
+    if out:
+        document = {
+            "benchmark": "service_throughput",
+            "machine_info": {
+                "python": platform.python_version(),
+                "machine": platform.machine(),
+                "system": platform.system(),
+                "cpus": os.cpu_count(),
+            },
+            "spec": {
+                "warmup_sessions": N_WARMUP,
+                "measured_sessions": n,
+                "trials_per_session": spec.n_trials,
+                "shards": SHARDS,
+                "seed": spec.seed,
+                "trial_mode": spec.trial_mode,
+                "window_seconds": spec.config.window_seconds,
+                "delta": spec.config.delta,
+            },
+            "serial_seconds": serial_seconds,
+            "service_seconds": service_seconds,
+            "serial_sessions_per_sec": serial_rate,
+            "service_sessions_per_sec": service_rate,
+            "speedup": speedup,
+            "min_speedup": MIN_SPEEDUP,
+            "bit_identical_accuracies": True,
+        }
+        with open(out, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    assert speedup >= MIN_SPEEDUP, (
+        f"warm service at shards={SHARDS} gave {speedup:.2f}x the serial "
+        f"sessions/sec ({serial_rate:.2f}/s -> {service_rate:.2f}/s), "
+        f"expected >= {MIN_SPEEDUP}x"
+    )

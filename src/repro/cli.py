@@ -12,8 +12,15 @@ Subcommands map one-to-one onto the paper's evaluation artifacts::
     repro-sdn headline [...]
     repro-sdn robustness [--rates 0,0.1 --kinds packet_in_loss ...]
     repro-sdn select [--probes M --method ... --jobs J]
+    repro-sdn submit recon [--spool DIR --targets 1,2 ...]
+    repro-sdn serve [--spool DIR --state DIR --shards N]
     repro-sdn check [paths] [--select RULES --format text|json]
     repro-sdn stats trace.ndjson [--format text|json]
+
+Every experiment invocation is internally a
+:class:`repro.apispec.JobSpec` -- the same unified job object the
+service consumes (docs/SERVICE.md) -- built from the parsed flags by
+``JobSpec.from_args``.
 
 Every command prints the same plain-text tables the benchmark suite
 emits, so results are scriptable without pytest.
@@ -31,15 +38,38 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import TYPE_CHECKING, List, Optional, Union
 
-from repro.experiments.params import ExperimentParams
-
 if TYPE_CHECKING:
+    from repro.apispec import JobSpec
     from repro.experiments.fig6 import Fig6Result
     from repro.experiments.fig7 import Fig7Result
     from repro.experiments.robustness import RobustnessResult
-    from repro.faults import FaultPlan
+
+
+class _DeprecatedAlias(argparse.Action):
+    """A hidden alias flag that warns and writes the canonical dest.
+
+    Used to retire the historical ``--save`` (for ``--out``) and
+    ``--n-jobs`` (for ``--jobs``) spellings: the alias stays accepted
+    for one release, never shows in ``--help``, and emits a
+    ``DeprecationWarning`` naming the canonical flag.
+    """
+
+    def __init__(self, option_strings, dest, canonical, **kwargs):
+        kwargs.setdefault("help", argparse.SUPPRESS)
+        kwargs.setdefault("default", argparse.SUPPRESS)
+        self.canonical = canonical
+        super().__init__(option_strings, dest, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warnings.warn(
+            f"{option_string} is deprecated; use {self.canonical}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        setattr(namespace, self.dest, values)
 
 
 # ----------------------------------------------------------------------
@@ -117,14 +147,22 @@ def add_common_args(
         )
     if out:
         parser.add_argument(
-            "--out", "--save", dest="out", type=str, default=None,
+            "--out", dest="out", type=str, default=None,
             metavar="PATH",
             help="archive the run as JSON (see repro.experiments.persist)",
         )
+        parser.add_argument(
+            "--save", dest="out", action=_DeprecatedAlias,
+            canonical="--out", type=str, metavar="PATH",
+        )
     if jobs:
         parser.add_argument(
-            "--jobs", "--n-jobs", dest="jobs", type=int, default=1,
+            "--jobs", dest="jobs", type=int, default=1,
             help="worker processes for probe scoring (1 = in-process)",
+        )
+        parser.add_argument(
+            "--n-jobs", dest="jobs", action=_DeprecatedAlias,
+            canonical="--jobs", type=int, metavar="N",
         )
     if trial_jobs:
         parser.add_argument(
@@ -171,41 +209,24 @@ def _resolved_seed(args: argparse.Namespace) -> Optional[int]:
     return getattr(args, "seed_fallback", None)
 
 
-def _fault_plan(args: argparse.Namespace) -> Optional["FaultPlan"]:
-    """The parsed ``--fault-plan``, or ``None`` when faults are off."""
-    spec = getattr(args, "fault_plan", None)
-    if not spec:
-        return None
-    from repro.faults import FaultPlan
+def _job_spec(args: argparse.Namespace, experiment: str) -> "JobSpec":
+    """The unified job for this invocation (repro.apispec.JobSpec)."""
+    from repro.apispec import JobSpec
 
-    return FaultPlan.parse(spec)
-
-
-def _experiment_params(args: argparse.Namespace) -> ExperimentParams:
-    return ExperimentParams(
-        n_configs=args.configs,
-        n_trials=args.trials,
-        seed=_resolved_seed(args),
-        trial_mode=args.mode,
-        selection_n_jobs=getattr(args, "jobs", 1),
-        fault_plan=_fault_plan(args),
-        probe_retries=getattr(args, "probe_retries", 0),
-        trial_jobs=getattr(args, "trial_jobs", 1),
-        kernel=getattr(args, "kernel", "auto"),
-    )
+    return JobSpec.from_args(args, experiment)
 
 
 def _maybe_save(
     args: argparse.Namespace,
     result: Union["Fig6Result", "Fig7Result", "RobustnessResult"],
-    params: Optional[ExperimentParams] = None,
+    spec: Optional["JobSpec"] = None,
 ) -> None:
     path = getattr(args, "out", None)
     if path:
         from repro.experiments.persist import save_result
 
         saved = save_result(
-            result, path, params=params, seed=_resolved_seed(args)
+            result, path, spec=spec, seed=_resolved_seed(args)
         )
         print(f"saved run to {saved}")
 
@@ -238,9 +259,9 @@ def _cmd_fig6(args: argparse.Namespace, which: str) -> int:
     from repro.experiments.fig6 import run_fig6
     from repro.experiments.report import format_cdf, format_series, format_table
 
-    params = _experiment_params(args)
-    result = run_fig6(params)
-    _maybe_save(args, result, params)
+    spec = _job_spec(args, "fig6")
+    result = run_fig6(spec)
+    _maybe_save(args, result, spec)
     if which == "a":
         print(
             format_series(
@@ -274,9 +295,9 @@ def _cmd_fig7(args: argparse.Namespace, which: str) -> int:
     from repro.experiments.fig7 import run_fig7
     from repro.experiments.report import format_series, format_table
 
-    params = _experiment_params(args)
-    result = run_fig7(params)
-    _maybe_save(args, result, params)
+    spec = _job_spec(args, "fig7")
+    result = run_fig7(spec)
+    _maybe_save(args, result, spec)
     if which == "a":
         table = result.accuracy_by_covering_count()
         rows = [
@@ -407,30 +428,25 @@ def _cmd_select(args: argparse.Namespace) -> int:
     from repro.core.inference import ReconInference
     from repro.core.selection import best_probe_set
     from repro.experiments.report import format_table
-    from repro.flows.config import ConfigGenerator, ConfigParams
+    from repro.flows.config import ConfigGenerator
 
-    params = ConfigParams(
-        n_flows=args.flows,
-        mask_bits=args.flows.bit_length() - 1,
-        n_rules=args.rules,
-        cache_size=args.cache,
-    )
-    config = ConfigGenerator(params, seed=_resolved_seed(args)).sample()
+    spec = _job_spec(args, "select")
+    config = ConfigGenerator(spec.config, seed=spec.seed).sample()
     model = CompactModel(
         config.policy,
         config.universe,
         config.delta,
         config.cache_size,
-        kernel=getattr(args, "kernel", "auto"),
+        kernel=spec.kernel,
     )
     inference = ReconInference(
         model, config.target_flow, config.window_steps
     )
     choice = best_probe_set(
         inference,
-        args.probes,
-        method=args.method,
-        n_jobs=args.jobs,
+        spec.n_probes,
+        method=spec.selection_method,
+        n_jobs=spec.selection_jobs,
     )
     print(config.describe())
     print()
@@ -441,9 +457,9 @@ def _cmd_select(args: argparse.Namespace) -> int:
                 ["probes", ", ".join(str(f) for f in choice.probes)],
                 ["joint gain (bits)", f"{choice.gain:.6f}"],
                 ["prior P(absent)", f"{inference.prior_absent():.6f}"],
-                ["method", args.method],
+                ["method", spec.selection_method],
             ],
-            title=f"Optimal {args.probes}-probe set (Section V)",
+            title=f"Optimal {spec.n_probes}-probe set (Section V)",
         )
     )
     if choice.stats is not None:
@@ -461,14 +477,7 @@ def _cmd_select(args: argparse.Namespace) -> int:
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments.reproduce import reproduce_all
 
-    report = reproduce_all(
-        scale=args.scale,
-        seed=_resolved_seed(args),
-        trial_mode=args.mode,
-        fault_plan=_fault_plan(args),
-        probe_retries=getattr(args, "probe_retries", 0),
-        trial_jobs=getattr(args, "trial_jobs", 1),
-    )
+    report = reproduce_all(_job_spec(args, "reproduce"))
     print(report.render())
     if args.out:
         directory = report.save(args.out)
@@ -478,25 +487,11 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
 
 def _cmd_robustness(args: argparse.Namespace) -> int:
     from repro.experiments.report import format_series, format_table
-    from repro.experiments.robustness import (
-        DEFAULT_KINDS,
-        DEFAULT_RATES,
-        run_robustness,
-    )
+    from repro.experiments.robustness import run_robustness
 
-    params = _experiment_params(args)
-    rates = (
-        tuple(float(part) for part in args.rates.split(","))
-        if args.rates
-        else DEFAULT_RATES
-    )
-    kinds = (
-        tuple(part.strip() for part in args.kinds.split(","))
-        if args.kinds
-        else DEFAULT_KINDS
-    )
-    result = run_robustness(params, rates=rates, kinds=kinds)
-    _maybe_save(args, result, params)
+    spec = _job_spec(args, "robustness")
+    result = run_robustness(spec)
+    _maybe_save(args, result, spec)
     print(
         format_series(
             "fault rate",
@@ -517,6 +512,56 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         )
     )
     _print_execution(result)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import resume_spec, submit_spec
+
+    spec = resume_spec(_job_spec(args, args.experiment))
+    try:
+        path = submit_spec(args.spool, spec)
+    except ValueError as error:
+        print(f"repro-sdn submit: {error}", file=sys.stderr)
+        return 2
+    print(f"spooled {spec.job_id} -> {path}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import (
+        ServiceBudgetExhausted,
+        list_pending,
+        serve_jobs,
+    )
+
+    specs = list_pending(args.spool)
+    if not specs:
+        print(f"no jobs spooled under {args.spool}", file=sys.stderr)
+        return 0
+    try:
+        results = serve_jobs(
+            specs,
+            args.state,
+            shards=args.shards,
+            max_sessions=args.max_sessions,
+        )
+    except ValueError as error:
+        print(f"repro-sdn serve: {error}", file=sys.stderr)
+        return 2
+    except ServiceBudgetExhausted as error:
+        # Checkpoints up to the budget are durable; rerunning `serve`
+        # on the same state directory resumes exactly here.
+        print(f"repro-sdn serve: {error}", file=sys.stderr)
+        return 3
+    for job_id in sorted(results):
+        metrics = results[job_id].get("metrics", {})
+        summary = ", ".join(
+            f"{name}={value:.4f}" if isinstance(value, float) else
+            f"{name}={value}"
+            for name, value in sorted(metrics.items())  # type: ignore[union-attr]
+        )
+        print(f"{job_id}: {summary}")
     return 0
 
 
@@ -802,6 +847,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common_args(robustness, seed_fallback=2017, experiment=True, jobs=True)
     robustness.set_defaults(func=_cmd_robustness)
+
+    submit = sub.add_parser(
+        "submit",
+        help="spool a job (unified JobSpec) for repro-sdn serve",
+    )
+    submit.add_argument(
+        "experiment",
+        choices=("recon", "fig6", "fig7", "robustness"),
+        help="what the job runs (recon = per-target service sessions)",
+    )
+    submit.add_argument(
+        "--spool", type=str, default="spool", metavar="DIR",
+        help="spool directory shared with `repro-sdn serve`",
+    )
+    submit.add_argument(
+        "--job-id", dest="job_id", type=str, default=None,
+        help="job identity (default: job-<spec digest prefix>)",
+    )
+    submit.add_argument(
+        "--targets", type=str, default=None, metavar="T1,T2,...",
+        help="explicit target flow indices for a recon job",
+    )
+    submit.add_argument(
+        "--n-targets", dest="n_targets", type=int, default=4, metavar="N",
+        help="eligible targets to enumerate when --targets is not given",
+    )
+    submit.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="session shards recorded on the spec (serve may override)",
+    )
+    add_common_args(submit, seed_fallback=2017, experiment=True, jobs=True)
+    submit.set_defaults(func=_cmd_submit)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run spooled jobs through the reconnaissance service",
+    )
+    serve.add_argument(
+        "--spool", type=str, default="spool", metavar="DIR",
+        help="spool directory to drain (see `repro-sdn submit`)",
+    )
+    serve.add_argument(
+        "--state", type=str, default="service-state", metavar="DIR",
+        help="checkpoint directory (resume point after a kill)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker processes sharing the session load",
+    )
+    serve.add_argument(
+        "--max-sessions", dest="max_sessions", type=int, default=None,
+        metavar="N",
+        help=(
+            "stop (exit 3) after N newly executed sessions; completed "
+            "checkpoints survive and a later serve resumes from them"
+        ),
+    )
+    add_common_args(serve, seed=False)
+    serve.set_defaults(func=_cmd_serve)
 
     check = sub.add_parser(
         "check",

@@ -123,6 +123,9 @@ class CompactModel:
         self._entries: Optional[
             Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
         ] = None
+        self._entries_sorted: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = None
         self._coverage_cache: Dict[int, np.ndarray] = {}
         self._probe_matrix_cache: Dict[int, sparse.csr_matrix] = {}
         self._membership_matrix: Optional[np.ndarray] = None
@@ -436,6 +439,55 @@ class CompactModel:
                 self._entries = self._build_entries()
         return self._entries
 
+    def _sorted_entries(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The transition entries in (row, col) order, memoised.
+
+        A stable lexsort keeps duplicate (row, col) runs in emission
+        order; any tag-filtered subset of these arrays is still sorted,
+        so every exclusion matrix assembles from them without its own
+        sort pass.
+        """
+        if self._entries_sorted is None:
+            rows, cols, probs, tags = self._ensure_entries()
+            order = np.lexsort((cols, rows))
+            self._entries_sorted = (
+                rows[order], cols[order], probs[order], tags[order]
+            )
+        return self._entries_sorted
+
+    def _assemble_csr(
+        self, rows: np.ndarray, cols: np.ndarray, probs: np.ndarray
+    ) -> sparse.csr_matrix:  # repro: noqa[STO001]
+        """Build a CSR matrix from (row, col)-sorted COO entries.
+
+        Equivalent to ``coo_matrix(...).tocsr()`` -- consecutive
+        duplicates are summed left to right -- minus the sort that
+        conversion would redo for every exclusion set.
+
+        Stochasticity is validated by the sole caller,
+        ``transition_matrix``: only it knows the excluded flows' mass
+        a substochastic matrix is expected to shed.
+        """
+        n = self.n_states
+        if len(rows) == 0:
+            return sparse.csr_matrix((n, n), dtype=np.float64)
+        boundary = np.empty(len(rows), dtype=bool)
+        boundary[0] = True
+        boundary[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+        starts = np.flatnonzero(boundary)
+        data = np.add.reduceat(probs, starts)
+        indices = cols[starts].astype(np.int32, copy=False)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(
+            np.bincount(rows[starts], minlength=n), out=indptr[1:],
+            dtype=np.int32,
+        )
+        return sparse.csr_matrix(
+            (data, indices, indptr), shape=(n, n)
+        )
+
     @staticmethod
     def _exclusion_key(exclude_flows: Iterable[int]) -> Tuple[int, ...]:
         return tuple(sorted({int(flow) for flow in exclude_flows}))
@@ -458,19 +510,22 @@ class CompactModel:
         cached = self._matrix_cache.get(key)
         if cached is not None:
             return cached
-        rows, cols, probs, tags = self._ensure_entries()
+        rows, cols, probs, tags = self._sorted_entries()
         if key:
             if len(key) == 1:
                 keep = tags != key[0]
             else:
                 keep = ~np.isin(tags, key)
             rows, cols, probs = rows[keep], cols[keep], probs[keep]
-        # Duplicate (row, col) entries are summed during CSR conversion;
-        # the dense kernel densifies *after* that so both kernels add
-        # duplicates in the identical order (bit-equal matrices).
-        csr = sparse.coo_matrix(
-            (probs, (rows, cols)), shape=(self.n_states, self.n_states)
-        ).tocsr()
+        # Entries arrive (row, col)-sorted, so the CSR assembles without
+        # a per-exclusion sort: duplicate (row, col) runs collapse via
+        # reduceat and the structure comes straight from the run starts.
+        # Sorting once per model (not once per exclusion set) is what
+        # lets many-target callers -- the recon service above all --
+        # re-exclude cheaply.  The dense kernel densifies *after* this
+        # so both kernels sum duplicates in the identical order
+        # (bit-equal matrices).
+        csr = self._assemble_csr(rows, cols, probs)
         matrix: MatrixLike
         if self.kernel.name == "dense":
             matrix = csr.toarray()

@@ -22,7 +22,7 @@ grows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.cdf import empirical_cdf, survival_at
 from repro.deprecation import keyword_only
@@ -33,6 +33,9 @@ from repro.experiments.harness import (
 from repro.experiments.parallel import ExecutionStats
 from repro.experiments.params import VIABLE_FIG6_BINS, ExperimentParams
 from repro.obs import get_instrumentation
+
+if TYPE_CHECKING:
+    from repro.apispec import JobSpec
 
 
 @dataclass
@@ -105,7 +108,7 @@ class Fig6Result:
 
 @keyword_only
 def run_fig6(
-    params: ExperimentParams,
+    params: Union["JobSpec", ExperimentParams],
     *,
     bins: Sequence[Tuple[float, float]] = VIABLE_FIG6_BINS,
     configs_per_bin: Optional[int] = None,
@@ -113,13 +116,18 @@ def run_fig6(
 ) -> Fig6Result:
     """Run the Figure 6 experiment.
 
-    ``params.n_configs`` configurations are split evenly across the
-    absence bins unless ``configs_per_bin`` is given.  Each sampled
-    configuration must pass the viability screen *and* have its optimal
-    probe differ from the target -- a rare combination (a few percent
-    of random configurations), hence the generous rejection-sampling
-    budget ``max_attempts_factor``.
+    The canonical input is a :class:`~repro.apispec.JobSpec`; a bare
+    :class:`ExperimentParams` still works for one release (with a
+    ``DeprecationWarning``).  ``params.n_configs`` configurations are
+    split evenly across the absence bins unless ``configs_per_bin`` is
+    given.  Each sampled configuration must pass the viability screen
+    *and* have its optimal probe differ from the target -- a rare
+    combination (a few percent of random configurations), hence the
+    generous rejection-sampling budget ``max_attempts_factor``.
     """
+    from repro.apispec import coerce_spec
+
+    _, params = coerce_spec(params, experiment="fig6", caller="run_fig6")
     bins = tuple(bins)
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []

@@ -17,7 +17,7 @@ beat the random attacker comfortably.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.deprecation import keyword_only
 from repro.experiments.harness import (
@@ -27,6 +27,9 @@ from repro.experiments.harness import (
 from repro.experiments.parallel import ExecutionStats
 from repro.experiments.params import VIABLE_FIG7_BINS, ExperimentParams
 from repro.obs import get_instrumentation
+
+if TYPE_CHECKING:
+    from repro.apispec import JobSpec
 
 #: Attackers plotted in Figure 7.
 FIG7_ATTACKERS: Tuple[str, ...] = ("constrained", "naive", "random")
@@ -130,13 +133,21 @@ class Fig7Result:
 
 @keyword_only
 def run_fig7(
-    params: ExperimentParams,
+    params: Union["JobSpec", ExperimentParams],
     *,
     bins: Sequence[Tuple[float, float]] = VIABLE_FIG7_BINS,
     configs_per_bin: Optional[int] = None,
     max_attempts_factor: int = 150,
 ) -> Fig7Result:
-    """Run the Figure 7 experiment (viability screen only)."""
+    """Run the Figure 7 experiment (viability screen only).
+
+    The canonical input is a :class:`~repro.apispec.JobSpec`; a bare
+    :class:`ExperimentParams` still works for one release (with a
+    ``DeprecationWarning``).
+    """
+    from repro.apispec import coerce_spec
+
+    _, params = coerce_spec(params, experiment="fig7", caller="run_fig7")
     bins = tuple(bins)
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []

@@ -10,6 +10,8 @@ Since schema version 2 every artifact shares one envelope, the
 :class:`ResultDocument`:
 
 * ``artifact`` / ``schema_version`` -- what this is and how to read it;
+* ``job`` -- the full :class:`~repro.apispec.JobSpec` the run was
+  submitted with (schema version 3; the unified job API);
 * ``params`` -- the :class:`~repro.experiments.params.ExperimentParams`
   the run used (when known);
 * ``metrics`` -- the artifact's headline numbers (``headline`` for
@@ -26,13 +28,18 @@ the current shape in memory via :func:`migrate_document`.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import subprocess
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple, Union
 
 from repro.deprecation import keyword_only
+
+if TYPE_CHECKING:
+    from repro.apispec import JobSpec
 from repro.experiments.fig6 import Fig6Result
 from repro.experiments.fig7 import Fig7Result
 from repro.experiments.harness import ConfigResult
@@ -43,15 +50,22 @@ from repro.version import __version__
 PathLike = Union[str, Path]
 
 #: Current result-document schema.  v1 (implicit, unversioned) had
-#: per-artifact ad-hoc shapes; v2 is the unified envelope.
-SCHEMA_VERSION = 2
+#: per-artifact ad-hoc shapes; v2 is the unified envelope; v3 records
+#: the full :class:`~repro.apispec.JobSpec` under ``job``.
+SCHEMA_VERSION = 3
 
 #: Where each artifact's v1 shape kept its headline metrics.
 _LEGACY_METRICS_KEY = {"fig6": "headline", "fig7": "summary"}
 
 
+@lru_cache(maxsize=1)
 def _git_sha() -> Optional[str]:
-    """The current git commit, if the repo and git are available."""
+    """The current git commit, if the repo and git are available.
+
+    Cached for the life of the process: the service stamps every
+    session checkpoint with provenance, and one ``git rev-parse``
+    subprocess per document would dominate short sessions.
+    """
     try:
         output = subprocess.run(
             ["git", "rev-parse", "HEAD"],
@@ -77,6 +91,9 @@ class ResultDocument:
     configurations: List[List[Dict[str, object]]]
     params: Optional[Dict[str, object]] = None
     provenance: Dict[str, object] = field(default_factory=dict)
+    #: The full :class:`~repro.apispec.JobSpec` as a plain-JSON mapping
+    #: (schema v3); ``None`` when the spec is unknown (migrated v1).
+    job: Optional[Dict[str, object]] = None
     schema_version: int = SCHEMA_VERSION
 
     def to_json(self) -> Dict[str, object]:
@@ -90,6 +107,7 @@ class ResultDocument:
             "artifact": self.artifact,
             "schema_version": self.schema_version,
             "version": __version__,
+            "job": self.job,
             "params": self.params,
             "metrics": dict(self.metrics),
             "series": dict(self.series),
@@ -166,14 +184,40 @@ def _params_dict(
     return asdict(params) if params is not None else None
 
 
+def _resolve_spec(
+    artifact: str,
+    spec: Optional["JobSpec"],
+    params: Optional[ExperimentParams],
+    seed: Optional[int],
+) -> Tuple[Optional[Dict[str, object]], Optional[ExperimentParams]]:
+    """``(job, params)`` from whichever of spec/params the caller gave.
+
+    A spec is canonical: its ``to_params()`` view fills the legacy
+    ``params`` section.  Legacy params-only calls still get a full
+    ``job`` record by wrapping them into a :class:`~repro.apispec.JobSpec`.
+    """
+    if spec is not None:
+        return spec.to_dict(), spec.to_params()
+    if params is not None:
+        from repro.apispec import JobSpec
+
+        wrapped = JobSpec.from_params(params, experiment=artifact)
+        if params.seed is None and seed is not None:
+            wrapped = dataclasses.replace(wrapped, seed=seed)
+        return wrapped.to_dict(), params
+    return None, None
+
+
 @keyword_only
 def fig6_to_document(
     result: Fig6Result,
     *,
     params: Optional[ExperimentParams] = None,
     seed: Optional[int] = None,
+    spec: Optional["JobSpec"] = None,
 ) -> Dict[str, object]:
     """A plain-JSON :class:`ResultDocument` for a Figure 6 run."""
+    job, params = _resolve_spec("fig6", spec, params, seed)
     return ResultDocument(
         artifact="fig6",
         metrics=result.headline(),
@@ -189,6 +233,7 @@ def fig6_to_document(
         ],
         params=_params_dict(params),
         provenance=_provenance(params, seed, result),
+        job=job,
     ).to_json()
 
 
@@ -198,8 +243,10 @@ def fig7_to_document(
     *,
     params: Optional[ExperimentParams] = None,
     seed: Optional[int] = None,
+    spec: Optional["JobSpec"] = None,
 ) -> Dict[str, object]:
     """A plain-JSON :class:`ResultDocument` for a Figure 7 run."""
+    job, params = _resolve_spec("fig7", spec, params, seed)
     return ResultDocument(
         artifact="fig7",
         metrics=result.summary(),
@@ -218,6 +265,7 @@ def fig7_to_document(
         ],
         params=_params_dict(params),
         provenance=_provenance(params, seed, result),
+        job=job,
     ).to_json()
 
 
@@ -227,8 +275,10 @@ def robustness_to_document(
     *,
     params: Optional[ExperimentParams] = None,
     seed: Optional[int] = None,
+    spec: Optional["JobSpec"] = None,
 ) -> Dict[str, object]:
     """A plain-JSON :class:`ResultDocument` for a robustness sweep."""
+    job, params = _resolve_spec("robustness", spec, params, seed)
     return ResultDocument(
         artifact="robustness",
         metrics=result.summary(),
@@ -247,6 +297,7 @@ def robustness_to_document(
         ],
         params=_params_dict(params),
         provenance=_provenance(params, seed, result),
+        job=job,
     ).to_json()
 
 
@@ -257,18 +308,22 @@ def save_result(
     *,
     params: Optional[ExperimentParams] = None,
     seed: Optional[int] = None,
+    spec: Optional["JobSpec"] = None,
 ) -> Path:
     """Serialise a figure result to ``path`` (JSON); returns the path.
 
-    ``params``/``seed``, when given, are recorded in the document's
-    ``params`` and ``provenance`` sections.
+    ``spec`` (canonical) or ``params``/``seed`` (legacy), when given,
+    are recorded in the document's ``job``/``params``/``provenance``
+    sections.
     """
     if isinstance(result, Fig6Result):
-        document = fig6_to_document(result, params=params, seed=seed)
+        document = fig6_to_document(result, params=params, seed=seed, spec=spec)
     elif isinstance(result, Fig7Result):
-        document = fig7_to_document(result, params=params, seed=seed)
+        document = fig7_to_document(result, params=params, seed=seed, spec=spec)
     elif isinstance(result, RobustnessResult):
-        document = robustness_to_document(result, params=params, seed=seed)
+        document = robustness_to_document(
+            result, params=params, seed=seed, spec=spec
+        )
     else:
         raise TypeError(f"unsupported result type: {type(result).__name__}")
     path = Path(path)
@@ -277,12 +332,48 @@ def save_result(
     return path
 
 
+def _job_from_legacy_params(
+    params: object, artifact: str, provenance: object
+) -> Optional[Dict[str, object]]:
+    """Reconstruct a v3 ``job`` record from a v2 ``params`` section.
+
+    v2 documents recorded the flattened ``ExperimentParams`` (config
+    nested as a dict, fault plan as a dict) plus a provenance seed; the
+    migration lifts those back into a validated
+    :class:`~repro.apispec.JobSpec`.  Malformed or hand-edited params
+    migrate to ``job: None`` rather than failing the load.
+    """
+    if not isinstance(params, dict):
+        return None
+    from repro.apispec import EXPERIMENTS, JobSpec
+
+    seed = params.get("seed")
+    if seed is None and isinstance(provenance, dict):
+        seed = provenance.get("seed")
+    job_document: Dict[str, object] = {
+        "experiment": artifact if artifact in EXPERIMENTS else "fig6",
+        "seed": seed,
+    }
+    renamed = {"selection_n_jobs": "selection_jobs"}
+    for key, value in params.items():
+        if key == "seed":
+            continue
+        job_document[renamed.get(key, key)] = value
+    try:
+        return JobSpec.from_dict(job_document).to_dict()
+    except (TypeError, ValueError):
+        return None
+
+
 def migrate_document(document: Dict[str, object]) -> Dict[str, object]:
     """Upgrade a result document to the current schema, in memory.
 
     v1 documents (no ``schema_version``) gain the unified envelope:
     ``metrics`` from the artifact's legacy headline key, ``series`` from
-    the legacy top-level series keys, empty ``params``/``provenance``.
+    the legacy top-level series keys, empty ``params``/``provenance``,
+    and ``job: None`` (a v1 file recorded no parameters to lift).  v2
+    documents gain ``job``: the full :class:`~repro.apispec.JobSpec`
+    reconstructed from their ``params`` + ``provenance`` sections.
     Already-current documents are returned unchanged.
     """
     if document.get("schema_version") == SCHEMA_VERSION:
@@ -313,6 +404,10 @@ def migrate_document(document: Dict[str, object]) -> Dict[str, object]:
         "provenance",
         {"repro_version": document.get("version"), "git_sha": None, "seed": None},
     )
+    if upgraded.get("job") is None:
+        upgraded["job"] = _job_from_legacy_params(
+            upgraded.get("params"), artifact, upgraded.get("provenance")
+        )
     return upgraded
 
 

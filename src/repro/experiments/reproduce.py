@@ -16,15 +16,18 @@ and notebooks::
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 from repro.deprecation import keyword_only
+
+if TYPE_CHECKING:
+    from repro.apispec import JobSpec
 from repro.experiments.fig6 import Fig6Result, run_fig6
 from repro.faults import FaultPlan
 from repro.experiments.fig7 import Fig7Result, run_fig7
-from repro.experiments.params import ExperimentParams
 from repro.obs import get_instrumentation
 from repro.experiments.report import (
     format_cdf,
@@ -44,6 +47,9 @@ class ReproductionReport:
     timing: Dict[str, object]
     statecount: Dict[str, object]
     elapsed_seconds: Dict[str, float] = field(default_factory=dict)
+    #: The job the report was produced from (None on legacy-path runs
+    #: predating the unified job API).
+    job: Optional["JobSpec"] = None
 
     def render(self) -> str:
         """The full plain-text report, artifact by artifact."""
@@ -137,61 +143,114 @@ class ReproductionReport:
 
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        save_result(self.fig6, directory / "fig6.json")
-        save_result(self.fig7, directory / "fig7.json")
+        fig6_spec = fig7_spec = None
+        if self.job is not None:
+            fig6_spec = replace(self.job, experiment="fig6")
+            fig7_spec = replace(self.job, experiment="fig7")
+        save_result(self.fig6, directory / "fig6.json", spec=fig6_spec)
+        save_result(self.fig7, directory / "fig7.json", spec=fig7_spec)
         (directory / "report.txt").write_text(self.render())
         return directory
 
 
+#: Sentinel distinguishing "not passed" from any real value, so the
+#: legacy keyword form can be detected (and rejected next to a spec).
+_UNSET: Any = object()
+
+
 @keyword_only
 def reproduce_all(
+    spec: Optional["JobSpec"] = None,
     *,
-    scale: float = 0.1,
-    seed: Optional[int] = 2017,
-    trial_mode: str = "table",
+    scale: float = _UNSET,
+    seed: Optional[int] = _UNSET,
+    trial_mode: str = _UNSET,
     timing_samples: int = 300,
-    fault_plan: Optional[FaultPlan] = None,
-    probe_retries: int = 0,
-    trial_jobs: int = 1,
+    fault_plan: Optional[FaultPlan] = _UNSET,
+    probe_retries: int = _UNSET,
+    trial_jobs: int = _UNSET,
 ) -> ReproductionReport:
-    """Regenerate every artifact at ``scale`` of the paper's size.
+    """Regenerate every artifact at a fraction of the paper's size.
+
+    The canonical input is a :class:`~repro.apispec.JobSpec` (its
+    ``scale``/``seed``/``trial_mode``/``fault_plan``/``probe_retries``/
+    ``trial_jobs`` fields drive the run; ``scale=None`` means the
+    default 0.1).  The legacy keyword form still works for one release
+    and emits a ``DeprecationWarning``; its defaults (``seed=2017``,
+    ``trial_mode="table"``) are unchanged.
 
     ``scale=1.0`` is the paper's 100 configurations x 100 trials (hours
-    on one core; the sampling screens dominate).  The default 0.1 keeps
-    the full reproduction under ~an hour.  ``fault_plan`` /
+    on one core; the sampling screens dominate).  ``fault_plan`` /
     ``probe_retries`` thread seeded fault injection through every trial
     (docs/FAULTS.md); the defaults reproduce the clean-channel paper
     setting bit-for-bit.  ``trial_jobs`` > 1 fans the screening and
     trial loops across a fork pool without changing a single number
     (EXPERIMENTS.md, "Parallel execution").
     """
-    if scale <= 0:
-        raise ValueError("scale must be positive")
-    params = ExperimentParams(
-        n_configs=max(2, round(100 * scale)),
-        n_trials=max(10, round(100 * scale)),
-        seed=seed,
-        trial_mode=trial_mode,
-        fault_plan=fault_plan,
-        probe_retries=probe_retries,
-        trial_jobs=trial_jobs,
+    from repro.apispec import JobSpec
+
+    legacy = {
+        name: value
+        for name, value in (
+            ("scale", scale),
+            ("seed", seed),
+            ("trial_mode", trial_mode),
+            ("fault_plan", fault_plan),
+            ("probe_retries", probe_retries),
+            ("trial_jobs", trial_jobs),
+        )
+        if value is not _UNSET
+    }
+    if spec is None:
+        warnings.warn(
+            "reproduce_all: the keyword form is deprecated and will stop "
+            "working in a future release; pass a repro.apispec.JobSpec "
+            "(experiment='reproduce')",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        spec = JobSpec(
+            experiment="reproduce",
+            scale=legacy.get("scale", 0.1),
+            seed=legacy.get("seed", 2017),
+            trial_mode=legacy.get("trial_mode", "table"),
+            fault_plan=legacy.get("fault_plan"),
+            probe_retries=legacy.get("probe_retries", 0),
+            trial_jobs=legacy.get("trial_jobs", 1),
+        )
+    else:
+        if not isinstance(spec, JobSpec):
+            raise TypeError(
+                "reproduce_all: expected a JobSpec, "
+                f"got {type(spec).__name__}"
+            )
+        if legacy:
+            raise TypeError(
+                "reproduce_all: pass everything on the JobSpec; got both "
+                f"a spec and legacy keyword(s) {', '.join(sorted(legacy))}"
+            )
+    run_scale = spec.scale if spec.scale is not None else 0.1
+    run_spec = replace(
+        spec,
+        n_configs=max(2, round(100 * run_scale)),
+        n_trials=max(10, round(100 * run_scale)),
     )
     elapsed: Dict[str, float] = {}
     obs = get_instrumentation()
 
     start = time.perf_counter()
     with obs.span("reproduce.fig6"), obs.phase("reproduce.fig6"):
-        fig6 = run_fig6(params)
+        fig6 = run_fig6(replace(run_spec, experiment="fig6"))
     elapsed["fig6"] = time.perf_counter() - start
 
     start = time.perf_counter()
     with obs.span("reproduce.fig7"), obs.phase("reproduce.fig7"):
-        fig7 = run_fig7(params)
+        fig7 = run_fig7(replace(run_spec, experiment="fig7"))
     elapsed["fig7"] = time.perf_counter() - start
 
     start = time.perf_counter()
     with obs.span("reproduce.timing"), obs.phase("reproduce.timing"):
-        timing = timing_table(n_samples=timing_samples, seed=seed or 0)
+        timing = timing_table(n_samples=timing_samples, seed=spec.seed or 0)
     elapsed["timing"] = time.perf_counter() - start
 
     statecount = statecount_report()
@@ -202,4 +261,5 @@ def reproduce_all(
         timing=timing,
         statecount=statecount,
         elapsed_seconds=elapsed,
+        job=spec,
     )

@@ -29,7 +29,7 @@ baseline.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.deprecation import keyword_only
 from repro.experiments.harness import ConfigResult, sample_screened_harnesses
@@ -37,6 +37,9 @@ from repro.experiments.parallel import ExecutionStats
 from repro.experiments.params import ExperimentParams
 from repro.faults import FAULT_KINDS, FaultPlan
 from repro.obs import Instrumentation, get_instrumentation, use_instrumentation
+
+if TYPE_CHECKING:
+    from repro.apispec import JobSpec
 
 #: Loss kinds swept by default (the two that directly starve probes).
 DEFAULT_KINDS: Tuple[str, ...] = ("packet_in_loss", "probe_reply_loss")
@@ -138,22 +141,35 @@ def _snapshot_counters(instrumentation: Instrumentation) -> Dict[str, int]:
 
 @keyword_only
 def run_robustness(
-    params: ExperimentParams,
+    params: Union["JobSpec", ExperimentParams],
     *,
-    rates: Sequence[float] = DEFAULT_RATES,
-    kinds: Sequence[str] = DEFAULT_KINDS,
+    rates: Optional[Sequence[float]] = None,
+    kinds: Optional[Sequence[str]] = None,
     configs: Optional[int] = None,
     require_optimal_differs: bool = False,
     max_attempts_factor: int = 400,
 ) -> RobustnessResult:
     """Run the accuracy-vs-fault-rate sweep.
 
-    ``params.fault_plan`` (or an all-zero plan) is the base: each swept
-    rate is applied to every kind in ``kinds`` on top of it.  The
-    screened configurations are sampled once -- the same worlds are
-    re-trialled at every rate -- and ``params.probe_retries`` governs
-    the attacker's retransmission budget throughout.
+    The canonical input is a :class:`~repro.apispec.JobSpec` (whose
+    ``rates``/``kinds`` fields supply the grid unless overridden here);
+    a bare :class:`ExperimentParams` still works for one release with a
+    ``DeprecationWarning``.  ``params.fault_plan`` (or an all-zero
+    plan) is the base: each swept rate is applied to every kind in
+    ``kinds`` on top of it.  The screened configurations are sampled
+    once -- the same worlds are re-trialled at every rate -- and
+    ``params.probe_retries`` governs the attacker's retransmission
+    budget throughout.
     """
+    from repro.apispec import coerce_spec
+
+    spec, params = coerce_spec(
+        params, experiment="robustness", caller="run_robustness"
+    )
+    if rates is None:
+        rates = spec.rates if spec.rates is not None else DEFAULT_RATES
+    if kinds is None:
+        kinds = spec.kinds if spec.kinds is not None else DEFAULT_KINDS
     rates = tuple(float(r) for r in rates)
     if not rates:
         raise ValueError("rates must be non-empty")

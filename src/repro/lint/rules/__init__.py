@@ -12,6 +12,7 @@ from repro.lint.rules.obs import ObservabilityContextRule
 from repro.lint.rules.parallel import PoolWorkerCaptureRule
 from repro.lint.rules.pyhygiene import PythonHygieneRule
 from repro.lint.rules.rng import UnseededRandomnessRule
+from repro.lint.rules.service import ServiceGeneratorRule
 from repro.lint.rules.stochastic import UnvalidatedTransitionMatrixRule
 
 #: Every rule, in reporting/documentation order.
@@ -24,6 +25,7 @@ ALL_RULES: List[LintRule] = [
     ObservabilityContextRule(),
     InjectorRandomnessRule(),
     PoolWorkerCaptureRule(),
+    ServiceGeneratorRule(),
 ]
 
 _BY_ID: Dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -41,6 +43,7 @@ __all__ = [
     "ObservabilityContextRule",
     "PoolWorkerCaptureRule",
     "PythonHygieneRule",
+    "ServiceGeneratorRule",
     "SetIterationRule",
     "UnseededRandomnessRule",
     "UnvalidatedTransitionMatrixRule",

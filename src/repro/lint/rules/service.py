@@ -1,0 +1,132 @@
+"""SRV101 -- service handlers must not construct generators ad hoc.
+
+The service's bit-identical resume contract (docs/SERVICE.md) hangs on
+one discipline: every random draw a session makes must descend from
+the planned generator ``default_rng([job_seed, session_index])``,
+created in the *planning* path and consumed through pre-drawn
+:class:`~repro.experiments.parallel.TrialPlan` records.  A generator
+constructed inside a service handler -- an ``async def`` coroutine, or
+any method of a ``*Service*`` class -- is randomness keyed by
+*execution order* (which jobs ran before, which sessions were resumed
+from checkpoints), and silently breaks kill/resume equality even when
+the seed argument looks explicit.
+
+The rule flags construction of ``numpy.random.default_rng`` /
+``Generator`` / ``RandomState`` lexically inside
+
+* an ``async def`` function (service handlers are coroutines), or
+* a function defined in a class whose name contains ``Service``,
+
+unless an enclosing function's name starts with ``plan``/``_plan`` --
+the planned-seed path (e.g. ``plan_session``), where session-keyed
+construction is the whole point.  Synchronous module-level helpers
+(``session_rng`` and the experiment pipelines) are out of scope here;
+RNG001 already polices unseeded construction everywhere.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator, List, Optional, Tuple
+
+from repro.lint.base import (
+    AnyFunctionDef,
+    LintRule,
+    ModuleSource,
+    call_endpoint,
+)
+from repro.lint.findings import Finding
+
+#: Call endpoints that construct a generator-like object.
+_GENERATOR_CALLS = frozenset({"default_rng", "Generator", "RandomState"})
+
+#: Enclosing-function prefixes that mark the planned-seed path.
+_PLANNED_PREFIXES = ("plan", "_plan")
+
+
+def _is_service_class(name: str) -> bool:
+    return "Service" in name
+
+
+class ServiceGeneratorRule(LintRule):
+    """SRV101: generators in service handlers outside the planned path."""
+
+    rule_id: ClassVar[str] = "SRV101"
+    summary: ClassVar[str] = (
+        "service handlers must not construct Generators outside the "
+        "planned-seed path (plan_* functions)"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        yield from self._walk(module, module.tree, enclosing=(), in_service_class=False)
+
+    def _walk(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        *,
+        enclosing: Tuple[AnyFunctionDef, ...],
+        in_service_class: bool,
+    ) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from self._walk(
+                    module,
+                    child,
+                    enclosing=enclosing,
+                    in_service_class=in_service_class
+                    or _is_service_class(child.name),
+                )
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(
+                    module,
+                    child,
+                    enclosing=enclosing + (child,),
+                    in_service_class=in_service_class,
+                )
+            else:
+                if isinstance(child, ast.Call):
+                    finding = self._check_call(
+                        module, child, enclosing, in_service_class
+                    )
+                    if finding is not None:
+                        yield finding
+                yield from self._walk(
+                    module,
+                    child,
+                    enclosing=enclosing,
+                    in_service_class=in_service_class,
+                )
+
+    def _check_call(
+        self,
+        module: ModuleSource,
+        node: ast.Call,
+        enclosing: Tuple[AnyFunctionDef, ...],
+        in_service_class: bool,
+    ) -> Optional[Finding]:
+        endpoint = call_endpoint(node.func)
+        if endpoint not in _GENERATOR_CALLS:
+            return None
+        if not enclosing:
+            return None
+        in_handler = in_service_class or any(
+            isinstance(func, ast.AsyncFunctionDef) for func in enclosing
+        )
+        if not in_handler:
+            return None
+        if any(
+            func.name.startswith(_PLANNED_PREFIXES) for func in enclosing
+        ):
+            return None
+        names: List[str] = [func.name for func in enclosing]
+        return self.finding(
+            module,
+            node,
+            f"{endpoint}(...) constructed in service handler "
+            f"{'.'.join(names)}(); route randomness through the "
+            "planned-seed path (a plan_* function) so resume stays "
+            "bit-identical",
+        )

@@ -49,11 +49,12 @@ def _normalized(document):
     """Strip the fields that legitimately differ between jobs settings."""
     document = dict(document)
     document.pop("provenance", None)
-    params = document.get("params")
-    if isinstance(params, dict):
-        document["params"] = {
-            k: v for k, v in params.items() if k != "trial_jobs"
-        }
+    for section in ("params", "job"):
+        value = document.get(section)
+        if isinstance(value, dict):
+            document[section] = {
+                k: v for k, v in value.items() if k != "trial_jobs"
+            }
     return document
 
 

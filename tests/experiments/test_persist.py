@@ -1,6 +1,7 @@
 """Tests for experiment result persistence."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -165,6 +166,47 @@ class TestMigration:
         assert rows
         for row in rows:
             assert row["delta"] == pytest.approx(0.0)
+
+
+class TestV2FixtureMigration:
+    """A committed schema-v2 file (written by the previous release)
+    must upgrade in memory to v3 with a synthesized ``job`` section."""
+
+    FIXTURE = Path(__file__).parent / "fixtures" / "result_v2.json"
+
+    def test_fixture_is_still_v2_on_disk(self):
+        raw = json.loads(self.FIXTURE.read_text())
+        assert raw["schema_version"] == 2
+        assert "job" not in raw
+
+    def test_v2_file_upgrades_to_current_schema(self):
+        document = load_document(self.FIXTURE)
+        assert document["schema_version"] == SCHEMA_VERSION
+        job = document["job"]
+        assert job["experiment"] == "fig6"
+        assert job["seed"] == 12
+        assert job["kernel"] == "auto"
+        # The job section embeds the full legacy params verbatim.
+        assert job["config"] == document["params"]["config"]
+        assert job["n_trials"] == document["params"]["n_trials"]
+        # The spec is loadable through the public API.
+        from repro.apispec import JobSpec
+
+        spec = JobSpec.from_dict(job)
+        assert spec.experiment == "fig6"
+        assert spec.to_params().seed == 12
+
+    def test_v2_envelope_sections_survive_untouched(self):
+        raw = json.loads(self.FIXTURE.read_text())
+        document = load_document(self.FIXTURE)
+        for key in ("metrics", "series", "params", "provenance",
+                    "configurations", "headline"):
+            assert document[key] == raw[key]
+
+    def test_migration_does_not_rewrite_the_fixture(self):
+        before = self.FIXTURE.read_text()
+        load_document(self.FIXTURE)
+        assert self.FIXTURE.read_text() == before
 
 
 class TestCompareHeadlines:

@@ -1,0 +1,22 @@
+"""Shared reduced-scale job specs for the service tests.
+
+Mirrors tests/experiments/conftest.py: a 4-flow universe with a short
+window keeps model builds and sessions fast while exercising every
+service code path.
+"""
+
+from repro.apispec import JobSpec
+from tests.experiments.conftest import tiny_config_params
+
+
+def tiny_recon_spec(**overrides) -> JobSpec:
+    defaults = dict(
+        experiment="recon",
+        config=tiny_config_params(),
+        n_trials=6,
+        seed=11,
+        n_targets=3,
+        trial_mode="table",
+    )
+    defaults.update(overrides)
+    return JobSpec(**defaults)

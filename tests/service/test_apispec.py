@@ -1,0 +1,197 @@
+"""JobSpec: the unified public job API (round trips and validation)."""
+
+import argparse
+
+import pytest
+
+from repro.apispec import EXPERIMENTS, JobSpec, coerce_spec
+from repro.experiments.params import ExperimentParams
+from repro.faults import FaultPlan
+from tests.experiments.conftest import (
+    tiny_config_params,
+    tiny_experiment_params,
+)
+
+
+class TestRoundTrips:
+    def test_dict_round_trip_is_identity(self):
+        spec = JobSpec(
+            experiment="robustness",
+            config=tiny_config_params(),
+            n_configs=3,
+            n_trials=7,
+            seed=42,
+            fault_plan=FaultPlan(packet_in_loss=0.1, seed=5),
+            probe_retries=2,
+            rates=(0.0, 0.2),
+            kinds=("packet_in_loss",),
+            targets=(1, 3),
+            job_id="job-x",
+        )
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        spec = JobSpec(config=tiny_config_params(), rates=(0.1,), seed=1)
+        json.dumps(spec.to_dict())  # must not raise
+
+    def test_params_round_trip(self):
+        params = tiny_experiment_params(n_trials=9, probe_retries=1)
+        spec = JobSpec.from_params(params, experiment="fig7")
+        assert spec.to_params() == params
+        assert spec.experiment == "fig7"
+
+    def test_from_dict_rejects_unknown_fields(self):
+        spec = JobSpec(config=tiny_config_params(), seed=1)
+        document = spec.to_dict()
+        document["bogus"] = 1
+        with pytest.raises(ValueError, match="bogus"):
+            JobSpec.from_dict(document)
+
+    def test_digest_ignores_job_id(self):
+        spec = JobSpec(config=tiny_config_params(), seed=3)
+        assert spec.digest() == spec.with_job_id("renamed").digest()
+        assert spec.digest() != JobSpec(
+            config=tiny_config_params(), seed=4
+        ).digest()
+
+
+class TestFromArgs:
+    def _namespace(self, **values):
+        defaults = dict(
+            seed=11,
+            seed_fallback=None,
+            configs=2,
+            trials=5,
+            mode="table",
+            jobs=1,
+            fault_plan="packet_in_loss=0.25,seed=3",
+            probe_retries=1,
+            trial_jobs=2,
+            kernel="dense",
+        )
+        defaults.update(values)
+        return argparse.Namespace(**defaults)
+
+    def test_cli_namespace_maps_onto_every_field(self):
+        spec = JobSpec.from_args(self._namespace(), "fig6a")
+        assert spec.experiment == "fig6"
+        assert spec.seed == 11
+        assert spec.n_configs == 2
+        assert spec.n_trials == 5
+        assert spec.trial_mode == "table"
+        assert spec.fault_plan.packet_in_loss == 0.25
+        assert spec.probe_retries == 1
+        assert spec.trial_jobs == 2
+        assert spec.kernel == "dense"
+
+    def test_seed_fallback_applies_when_seed_absent(self):
+        spec = JobSpec.from_args(
+            self._namespace(seed=None, seed_fallback=2017), "robustness"
+        )
+        assert spec.seed == 2017
+
+    def test_comma_lists_are_split(self):
+        spec = JobSpec.from_args(
+            self._namespace(rates="0,0.1", kinds="packet_in_loss",
+                            targets="1,2"),
+            "robustness",
+        )
+        assert spec.rates == (0.0, 0.1)
+        assert spec.kinds == ("packet_in_loss",)
+        assert spec.targets == (1, 2)
+
+
+class TestValidation:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ValueError, match="experiment"):
+            JobSpec(experiment="warp")
+
+    def test_experiments_registry_is_closed(self):
+        assert set(EXPERIMENTS) == {
+            "fig6", "fig7", "robustness", "reproduce", "select", "recon",
+        }
+
+    def test_negative_targets_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            JobSpec(config=tiny_config_params(), targets=(-1,))
+
+    def test_experiment_params_validation_is_reused(self):
+        with pytest.raises(ValueError):
+            JobSpec(config=tiny_config_params(), trial_mode="warp")
+
+
+class TestCoerceSpec:
+    def test_jobspec_passes_through_silently(self):
+        spec = JobSpec(config=tiny_config_params(), seed=1)
+        got, params = coerce_spec(spec, experiment="fig6", caller="t")
+        assert got is spec
+        assert params == spec.to_params()
+
+    def test_legacy_params_warn_and_wrap(self):
+        params = tiny_experiment_params()
+        with pytest.warns(DeprecationWarning, match="JobSpec"):
+            spec, got = coerce_spec(params, experiment="fig7", caller="t")
+        assert got is params
+        assert spec.experiment == "fig7"
+        assert spec.to_params() == params
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            coerce_spec(42, experiment="fig6", caller="t")
+
+
+class TestLegacyRunnerShims:
+    def test_run_fig6_accepts_legacy_params_with_warning(self):
+        from repro.experiments.fig6 import run_fig6
+
+        params = tiny_experiment_params(n_trials=4, n_configs=2)
+        with pytest.warns(DeprecationWarning):
+            legacy = run_fig6(params, configs_per_bin=1)
+        spec = JobSpec.from_params(params, experiment="fig6")
+        canonical = run_fig6(spec, configs_per_bin=1)
+        assert legacy.headline() == canonical.headline()
+
+    def test_reproduce_all_legacy_keywords_warn(self):
+        import repro.experiments.reproduce as reproduce_module
+
+        with pytest.warns(DeprecationWarning, match="keyword form"):
+            report = reproduce_module.reproduce_all(
+                scale=0.02, seed=5, trial_mode="table"
+            )
+        assert report.job is not None
+        assert report.job.seed == 5
+
+    def test_reproduce_all_rejects_spec_plus_legacy_kwargs(self):
+        from repro.experiments.reproduce import reproduce_all
+
+        spec = JobSpec(
+            experiment="reproduce", config=tiny_config_params(), seed=1
+        )
+        with pytest.raises(TypeError, match="legacy keyword"):
+            reproduce_all(spec, scale=0.5)
+
+    def test_robustness_spec_supplies_the_grid(self):
+        from repro.experiments.robustness import run_robustness
+
+        spec = JobSpec(
+            experiment="robustness",
+            config=tiny_config_params(),
+            n_configs=1,
+            n_trials=4,
+            seed=9,
+            trial_mode="table",
+            rates=(0.0, 0.5),
+            kinds=("packet_in_loss",),
+        )
+        result = run_robustness(spec)
+        assert result.rates == (0.0, 0.5)
+        assert result.kinds == ("packet_in_loss",)
+
+
+def test_experiment_params_unchanged_by_spec_bridge():
+    """to_params() must not invent or drop ExperimentParams fields."""
+    params = ExperimentParams(config=tiny_config_params(), seed=7)
+    spec = JobSpec.from_params(params)
+    assert spec.to_params() == params

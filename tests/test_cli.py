@@ -33,7 +33,13 @@ class TestParser:
                 else [command, "--seed", "1"]
             )
             assert callable(args.func)
-        for extra in (["check"], ["stats", "trace.ndjson"]):
+        for extra in (
+            ["check"],
+            ["stats", "trace.ndjson"],
+            ["robustness", "--seed", "1"],
+            ["submit", "recon"],
+            ["serve"],
+        ):
             assert callable(parser.parse_args(extra).func)
 
     def test_reproduce_defaults(self):
@@ -91,13 +97,39 @@ class TestExecution:
         assert args.method == "exhaustive"
         assert args.jobs == 1
 
-    def test_jobs_alias(self):
-        args = build_parser().parse_args(["select", "--n-jobs", "3"])
+    def test_canonical_jobs_and_out_flags_everywhere(self):
+        """Every subcommand that fans out or saves takes the canonical
+        spelling; the legacy aliases stay parseable but hidden."""
+        parser = build_parser()
+        for command in ("select", "check", "fig6a", "robustness", "submit"):
+            argv = [command, "--jobs", "3"]
+            if command == "submit":
+                argv.insert(1, "recon")
+            assert parser.parse_args(argv).jobs == 3
+        for command in ("fig6a", "fig7b", "headline", "reproduce",
+                        "robustness"):
+            args = parser.parse_args([command, "--out", "x.json"])
+            assert args.out == "x.json"
+
+    def test_jobs_alias_warns_and_maps_to_canonical(self):
+        with pytest.warns(DeprecationWarning, match="--jobs"):
+            args = build_parser().parse_args(["select", "--n-jobs", "3"])
         assert args.jobs == 3
 
-    def test_out_alias(self):
-        args = build_parser().parse_args(["fig6a", "--save", "x.json"])
+    def test_out_alias_warns_and_maps_to_canonical(self):
+        with pytest.warns(DeprecationWarning, match="--out"):
+            args = build_parser().parse_args(["fig6a", "--save", "x.json"])
         assert args.out == "x.json"
+
+    def test_aliases_are_hidden_from_help(self):
+        parser = build_parser()
+        sub = next(
+            action for action in parser._actions
+            if action.choices and "fig6a" in action.choices
+        )
+        help_text = sub.choices["fig6a"].format_help()
+        assert "--out" in help_text and "--jobs" in help_text
+        assert "--save" not in help_text and "--n-jobs" not in help_text
 
     def test_common_flags_everywhere(self):
         parser = build_parser()
