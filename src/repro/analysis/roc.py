@@ -56,6 +56,49 @@ def roc_points(
     return points
 
 
+def auc(points: Sequence[ThresholdPoint]) -> float:
+    """Area under the ROC curve traced by these threshold points.
+
+    Trapezoidal rule over ``(false_hit_rate, true_hit_rate)`` pairs,
+    anchored at ``(0, 0)`` and ``(1, 1)``.  The pairs are sorted
+    internally, so the result is invariant under any permutation of the
+    threshold sweep.
+    """
+    if not points:
+        raise ValueError("need at least one threshold point")
+    pairs = sorted(
+        [(p.false_hit_rate, p.true_hit_rate) for p in points]
+        + [(0.0, 0.0), (1.0, 1.0)]
+    )
+    area = 0.0
+    for (x0, y0), (x1, y1) in zip(pairs, pairs[1:]):
+        area += (x1 - x0) * (y0 + y1) / 2.0
+    return area
+
+
+def score_auc(
+    positives: Sequence[float], negatives: Sequence[float]
+) -> float:
+    """Exact (rank/Mann-Whitney) AUC of a "higher score = positive" rule.
+
+    The probability that a uniformly drawn positive outscores a
+    uniformly drawn negative, counting ties as half.  Either population
+    empty gives the uninformative 0.5 -- the grid uses this for cells
+    where a defense starves one class entirely (e.g. proactive rules
+    leave the detector no packet-ins to rank).
+    """
+    if not positives or not negatives:
+        return 0.5
+    wins = 0.0
+    for pos in positives:
+        for neg in negatives:
+            if pos > neg:
+                wins += 1.0
+            elif pos == neg:
+                wins += 0.5
+    return wins / (len(positives) * len(negatives))
+
+
 def best_threshold(
     hit_rtts: Sequence[float],
     miss_rtts: Sequence[float],

@@ -45,6 +45,7 @@ EXPERIMENTS: Tuple[str, ...] = (
     "reproduce",
     "select",
     "recon",
+    "defend",
 )
 
 #: CLI subcommands that share a runner (``JobSpec.from_args`` callers
@@ -92,6 +93,11 @@ class JobSpec:
     #: Robustness sweep grid (``None`` = the sweep's defaults).
     rates: Optional[Tuple[float, ...]] = None
     kinds: Optional[Tuple[str, ...]] = None
+    #: Defend grid axes (``None`` = the grid's defaults): countermeasure
+    #: names from :data:`repro.countermeasures.DEFENSE_CHOICES`, and the
+    #: online detector method from :data:`repro.detect.DETECTOR_CHOICES`.
+    defense: Optional[Tuple[str, ...]] = None
+    detector: Optional[str] = None
     #: Reproduction scale (``None`` = the runner's default 0.1).
     scale: Optional[float] = None
     #: Service fields (docs/SERVICE.md): explicit target flow indices,
@@ -104,7 +110,7 @@ class JobSpec:
 
     def __post_init__(self) -> None:
         # Tolerate JSON-shaped inputs (lists where tuples belong).
-        for name in ("rates", "kinds", "targets"):
+        for name in ("rates", "kinds", "targets", "defense"):
             value = getattr(self, name)
             if value is not None and not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -135,6 +141,33 @@ class JobSpec:
             object.__setattr__(
                 self, "rates", tuple(float(r) for r in self.rates)
             )
+        if self.defense is not None:
+            from repro.countermeasures.registry import DEFENSE_CHOICES
+
+            object.__setattr__(
+                self, "defense", tuple(str(d) for d in self.defense)
+            )
+            if not self.defense:
+                raise ValueError("defense must be non-empty when given")
+            unknown = sorted(set(self.defense) - set(DEFENSE_CHOICES))
+            if unknown:
+                raise ValueError(
+                    f"unknown defense(s): {', '.join(unknown)} "
+                    f"(expected from {', '.join(DEFENSE_CHOICES)})"
+                )
+            if self.trial_mode != "network":
+                raise ValueError(
+                    "defenses require network-mode trials "
+                    f"(got trial_mode={self.trial_mode!r})"
+                )
+        if self.detector is not None:
+            from repro.detect.detector import DETECTOR_CHOICES
+
+            if self.detector not in DETECTOR_CHOICES:
+                raise ValueError(
+                    f"unknown detector: {self.detector!r} "
+                    f"(expected one of {', '.join(DETECTOR_CHOICES)})"
+                )
         # Everything ExperimentParams validates is validated here too.
         self.to_params()
 
@@ -277,6 +310,7 @@ class JobSpec:
         rates = getattr(args, "rates", None)
         kinds = getattr(args, "kinds", None)
         targets = getattr(args, "targets", None)
+        defense = getattr(args, "defense", None)
         return cls(
             experiment=experiment,
             config=config,
@@ -301,6 +335,12 @@ class JobSpec:
                 if isinstance(kinds, str)
                 else kinds
             ),
+            defense=(
+                tuple(part.strip() for part in defense.split(","))
+                if isinstance(defense, str)
+                else defense
+            ),
+            detector=getattr(args, "detector", None),
             scale=getattr(args, "scale", None),
             targets=(
                 tuple(int(part) for part in targets.split(","))

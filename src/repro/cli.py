@@ -515,6 +515,80 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_defend(args: argparse.Namespace) -> int:
+    from repro.experiments.defend import run_defend
+    from repro.experiments.report import format_table
+
+    spec = _job_spec(args, "defend")
+    try:
+        result = run_defend(spec)
+    except ValueError as error:
+        print(f"repro-sdn defend: {error}", file=sys.stderr)
+        return 2
+    _maybe_save(args, result, spec)
+    clean = result.rates[0]
+    rows = []
+    # result.baseline holds one cell per fault rate; the clean-channel
+    # table wants only the rate == rates[0] one (the first).
+    for cell in [result.baseline[0]] + [
+        result.cell(name, clean) for name in result.defenses
+    ]:
+        rows.append([
+            cell.defense,
+            f"{cell.accuracies.get('model', float('nan')):.4f}",
+            f"{cell.rtt_auc:.4f}",
+            f"{cell.effective_leakage_bits:.6f}",
+            f"{cell.detector_auc:.4f}",
+            f"{cell.benign_delay_seconds:.6f}",
+            str(cell.rules_installed),
+        ])
+    print(
+        format_table(
+            [
+                "defense",
+                "model acc",
+                "rtt auc",
+                "leak bits",
+                "det auc",
+                "delay s",
+                "rules",
+            ],
+            rows,
+            title=(
+                "Defense grid (clean channel, detector="
+                f"{result.detector_method})"
+            ),
+        )
+    )
+    if len(result.rates) > 1:
+        fault_rows = [
+            [cell.defense, f"{cell.rate:g}",
+             f"{cell.accuracies.get('model', float('nan')):.4f}"]
+            for cell in result.baseline + result.cells
+        ]
+        print()
+        print(
+            format_table(
+                ["defense", "fault rate", "model acc"],
+                fault_rows,
+                title=(
+                    "Defense x fault-rate model accuracy "
+                    f"({', '.join(result.kinds)})"
+                ),
+            )
+        )
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [[k, v] for k, v in result.summary().items()],
+            title="Defend summary",
+        )
+    )
+    _print_execution(result)
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     from repro.service import resume_spec, submit_spec
 
@@ -765,6 +839,13 @@ def build_parser() -> argparse.ArgumentParser:
         ("fig7b", lambda a: _cmd_fig7(a, "b")),
     ):
         p = sub.add_parser(fig, help=f"reproduce {fig}")
+        p.add_argument(
+            "--defense", type=str, default=None, metavar="NAME",
+            help=(
+                "attach one countermeasure to every trial network "
+                "(none, delay, proactive; requires --mode network)"
+            ),
+        )
         add_common_args(p, experiment=True, jobs=True)
         p.set_defaults(func=runner)
 
@@ -848,13 +929,43 @@ def build_parser() -> argparse.ArgumentParser:
     add_common_args(robustness, seed_fallback=2017, experiment=True, jobs=True)
     robustness.set_defaults(func=_cmd_robustness)
 
+    defend = sub.add_parser(
+        "defend",
+        help="countermeasure x attacker x fault-plan evaluation grid",
+    )
+    defend.add_argument(
+        "--defenses", dest="defense", type=str, default=None,
+        metavar="NAME,...",
+        help=(
+            "countermeasures to sweep (default: none,delay,proactive; "
+            "see repro.countermeasures)"
+        ),
+    )
+    defend.add_argument(
+        "--detector", choices=("threshold", "logistic"), default=None,
+        help="online recon detector scored in every cell (default: logistic)",
+    )
+    defend.add_argument(
+        "--rates", type=str, default=None, metavar="R1,R2,...",
+        help="fault rates crossed with the defenses (default: 0)",
+    )
+    defend.add_argument(
+        "--kinds", type=str, default=None, metavar="KIND,...",
+        help=(
+            "loss kinds the swept rate applies to "
+            "(default: packet_in_loss,probe_reply_loss)"
+        ),
+    )
+    add_common_args(defend, seed_fallback=2017, experiment=True, jobs=True)
+    defend.set_defaults(func=_cmd_defend)
+
     submit = sub.add_parser(
         "submit",
         help="spool a job (unified JobSpec) for repro-sdn serve",
     )
     submit.add_argument(
         "experiment",
-        choices=("recon", "fig6", "fig7", "robustness"),
+        choices=("recon", "fig6", "fig7", "robustness", "defend"),
         help="what the job runs (recon = per-target service sessions)",
     )
     submit.add_argument(

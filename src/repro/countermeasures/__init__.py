@@ -16,7 +16,9 @@ measurable against the full attack pipeline:
 
 from repro.countermeasures.base import Defense
 from repro.countermeasures.delay import DelayDefense
+from repro.countermeasures.noop import NoDefense
 from repro.countermeasures.proactive import ProactiveDefense
+from repro.countermeasures.registry import DEFENSE_CHOICES, make_defense
 from repro.countermeasures.transform import (
     merge_rule_pair,
     merge_to_coarse,
@@ -25,9 +27,12 @@ from repro.countermeasures.transform import (
 )
 
 __all__ = [
+    "DEFENSE_CHOICES",
     "Defense",
     "DelayDefense",
+    "NoDefense",
     "ProactiveDefense",
+    "make_defense",
     "merge_rule_pair",
     "merge_to_coarse",
     "split_to_microflows",

@@ -50,6 +50,11 @@ class DelayDefense(Defense):
         self.quiet_reset = quiet_reset
         #: flow -> (packets seen in current burst, last packet time).
         self._seen: Dict[FlowId, Tuple[int, float]] = {}
+        #: flow -> {packet identity -> burst position}.  A retransmitted
+        #: probe keeps its probe id, so it must keep its burst position:
+        #: an in-budget packet is padded on *every* attempt, and a
+        #: retransmission never consumes fresh budget.
+        self._burst_slots: Dict[FlowId, Dict[Tuple[str, int], int]] = {}
         #: Total artificial delay added (the defense's cost metric).
         self.delays_added = 0.0
         self.packets_delayed = 0
@@ -84,15 +89,38 @@ class DelayDefense(Defense):
             return
         now = self._network.sim.now
         count, last = self._seen.get(packet.flow, (0, -float("inf")))
+        slots = self._burst_slots.setdefault(packet.flow, {})
         if now - last > self.quiet_reset:
             count = 0  # the flow went quiet; its next packets are "first"
-        self._seen[packet.flow] = (count + 1, now)
+            slots.clear()
+        identity = self._packet_identity(packet)
+        if identity in slots:
+            # A retransmission of a packet already counted this burst:
+            # refresh the burst clock, but consume no fresh budget.
+            self._seen[packet.flow] = (count, now)
+            return
+        count += 1
+        slots[identity] = count
+        self._seen[packet.flow] = (count, now)
+
+    @staticmethod
+    def _packet_identity(packet: "Packet") -> Tuple[str, int]:
+        """Stable identity across retransmissions of the same probe.
+
+        Probe ids and packet ids are separate counters, so the two
+        namespaces are kept apart to avoid accidental slot sharing.
+        """
+        if packet.probe_id is not None:
+            return ("probe", int(packet.probe_id))
+        return ("data", int(packet.packet_id))
 
     def forward_delay(self, switch: "Switch", packet: "Packet") -> float:
         if not self._participates(switch, packet):
             return 0.0
         count, _ = self._seen.get(packet.flow, (1, 0.0))
-        if count > self.first_k:
+        slots = self._burst_slots.get(packet.flow, {})
+        position = slots.get(self._packet_identity(packet), count)
+        if position > self.first_k:
             return 0.0
         assert self._rng is not None, "attach() must run before forwarding"
         delay = float(self._rng.normal(self.delay_mean, self.delay_std))

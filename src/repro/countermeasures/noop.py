@@ -1,0 +1,22 @@
+"""The null countermeasure: a defense that defends nothing.
+
+``NoDefense`` exists so the defend grid (``repro-sdn defend``) can
+carry an explicit "undefended" cell through exactly the same code path
+as every real defense -- same factory, same attach call, same hooks --
+which is what makes the grid's bit-identity contract testable: a
+network with ``NoDefense`` attached must produce byte-for-byte the same
+trial results as a network with no defense at all.  Both hooks are the
+:class:`~repro.countermeasures.base.Defense` defaults (observe is a
+no-op, ``forward_delay`` returns 0.0), and attach stores nothing, so
+the simulator's RNG draw sequence is untouched.
+"""
+
+from __future__ import annotations
+
+from repro.countermeasures.base import Defense
+
+
+class NoDefense(Defense):
+    """Attachable no-op: the grid's undefended control cell."""
+
+    name = "none"

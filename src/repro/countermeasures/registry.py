@@ -1,0 +1,61 @@
+"""Defense registry: names accepted by ``--defenses`` and ``JobSpec``.
+
+One constructor per named defense, all zero-argument (grid cells must
+be reconstructible from the name alone so a :class:`~repro.apispec.
+JobSpec` stays the complete provenance record).  Structural transforms
+(:mod:`repro.countermeasures.transform`) operate on policies, not live
+networks, so they are not registered here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.countermeasures.base import Defense
+from repro.countermeasures.delay import DelayDefense
+from repro.countermeasures.noop import NoDefense
+from repro.countermeasures.proactive import ProactiveDefense
+
+_FACTORIES: Dict[str, Callable[[], Defense]] = {
+    "none": NoDefense,
+    "delay": DelayDefense,
+    "proactive": ProactiveDefense,
+}
+
+#: Valid ``--defenses`` / ``JobSpec.defense`` names, in grid order.
+DEFENSE_CHOICES: Tuple[str, ...] = tuple(_FACTORIES)
+
+
+def make_defense(name: str) -> Defense:
+    """A fresh defense instance for this registered name."""
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defense {name!r}; choose from "
+            f"{', '.join(DEFENSE_CHOICES)}"
+        ) from None
+    return factory()
+
+
+def single_defense_factory(
+    defense: Optional[Sequence[str]], *, caller: str
+) -> Optional[Callable[[], Defense]]:
+    """A per-trial factory for a spec carrying one defense name.
+
+    The non-grid runners (fig6/fig7/reproduce) evaluate a single
+    defense per run; the defend grid is the place for several at once.
+    ``None`` stays ``None`` -- the undefended legacy path, not even a
+    :class:`~repro.countermeasures.noop.NoDefense` attach.
+    """
+    if defense is None:
+        return None
+    names = tuple(defense)
+    if len(names) != 1:
+        raise ValueError(
+            f"{caller} runs one defense at a time, got {len(names)} "
+            f"({', '.join(names)}); use `repro-sdn defend` for a grid"
+        )
+    name = names[0]
+    make_defense(name)  # validate the name eagerly, not per trial
+    return lambda: make_defense(name)

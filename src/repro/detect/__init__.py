@@ -1,0 +1,30 @@
+"""Online reconnaissance detection from control-channel counters.
+
+The defender's side of the timing channel: a switch that is being
+probed emits a distinctive control-plane signature (bursts of
+packet-ins and flow-mods out of proportion to the data-plane load).
+This package turns the obs layer's counter stream into fixed-length
+windows (:mod:`repro.detect.windows`), summarises each window as a
+small feature vector (:mod:`repro.detect.features`), and scores the
+vectors with a seeded, deterministic detector
+(:mod:`repro.detect.detector`) -- threshold or logistic -- that the
+``repro-sdn defend`` grid evaluates against every countermeasure.
+
+Modelled on the switch-side detectors of Krösche et al. (I DPID It My
+Way!) and the per-window ML feature extraction of the Waterclau DPDK
+pipeline; see docs/DEFENSES.md for the determinism contract.
+"""
+
+from repro.detect.detector import DETECTOR_CHOICES, ReconDetector
+from repro.detect.features import FEATURE_NAMES, window_features
+from repro.detect.windows import WINDOW_COUNTERS, CounterWindow, WindowRecorder
+
+__all__ = [
+    "DETECTOR_CHOICES",
+    "CounterWindow",
+    "FEATURE_NAMES",
+    "ReconDetector",
+    "WINDOW_COUNTERS",
+    "WindowRecorder",
+    "window_features",
+]

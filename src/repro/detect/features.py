@@ -1,0 +1,33 @@
+"""Per-window feature extraction for the recon detector.
+
+Four rates/ratios per window, all computable by a switch from its own
+control-channel counters.  Probing shows up as packet-in and flow-mod
+activity out of proportion to the data-plane volume: a probe is a
+single spoofed packet engineered to miss the flow table, so a probed
+window has a high miss fraction at low received rate, while benign
+bursts raise the received rate along with the misses.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.detect.windows import CounterWindow
+
+#: Feature order produced by :func:`window_features`.
+FEATURE_NAMES: Tuple[str, ...] = (
+    "packet_in_rate",
+    "miss_fraction",
+    "received_rate",
+    "flow_mod_rate",
+)
+
+
+def window_features(window: CounterWindow) -> Tuple[float, ...]:
+    """The window's feature vector, in :data:`FEATURE_NAMES` order."""
+    return (
+        window.packet_ins / window.duration,
+        window.packet_ins / max(window.received, 1),
+        window.received / window.duration,
+        window.flow_mods / window.duration,
+    )

@@ -126,8 +126,12 @@ def run_fig6(
     generous rejection-sampling budget ``max_attempts_factor``.
     """
     from repro.apispec import coerce_spec
+    from repro.countermeasures.registry import single_defense_factory
 
-    _, params = coerce_spec(params, experiment="fig6", caller="run_fig6")
+    spec, params = coerce_spec(params, experiment="fig6", caller="run_fig6")
+    defense_factory = single_defense_factory(
+        spec.defense, caller="run_fig6"
+    )
     bins = tuple(bins)
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []
@@ -144,7 +148,9 @@ def run_fig6(
                 execution=execution,
             )
             bucket = [
-                harness.run_trials(execution=execution)
+                harness.run_trials(
+                    defense_factory=defense_factory, execution=execution
+                )
                 for harness in harnesses
             ]
         results.append(bucket)

@@ -146,8 +146,12 @@ def run_fig7(
     ``DeprecationWarning``).
     """
     from repro.apispec import coerce_spec
+    from repro.countermeasures.registry import single_defense_factory
 
-    _, params = coerce_spec(params, experiment="fig7", caller="run_fig7")
+    spec, params = coerce_spec(params, experiment="fig7", caller="run_fig7")
+    defense_factory = single_defense_factory(
+        spec.defense, caller="run_fig7"
+    )
     bins = tuple(bins)
     per_bin = configs_per_bin or max(1, params.n_configs // len(bins))
     results: List[List[ConfigResult]] = []
@@ -164,7 +168,9 @@ def run_fig7(
                 execution=execution,
             )
             bucket = [
-                harness.run_trials(execution=execution)
+                harness.run_trials(
+                    defense_factory=defense_factory, execution=execution
+                )
                 for harness in harnesses
             ]
         results.append(bucket)

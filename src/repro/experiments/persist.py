@@ -40,6 +40,7 @@ from repro.deprecation import keyword_only
 
 if TYPE_CHECKING:
     from repro.apispec import JobSpec
+from repro.experiments.defend import DefendResult
 from repro.experiments.fig6 import Fig6Result
 from repro.experiments.fig7 import Fig7Result
 from repro.experiments.harness import ConfigResult
@@ -302,8 +303,45 @@ def robustness_to_document(
 
 
 @keyword_only
+def defend_to_document(
+    result: DefendResult,
+    *,
+    params: Optional[ExperimentParams] = None,
+    seed: Optional[int] = None,
+    spec: Optional["JobSpec"] = None,
+) -> Dict[str, object]:
+    """A plain-JSON :class:`ResultDocument` for a defend grid run.
+
+    ``configurations`` carries the baseline buckets first (one per
+    rate), then the grid cells in the result's (defense-major,
+    rate-minor) order, mirroring ``series["cells"]``.
+    """
+    job, params = _resolve_spec("defend", spec, params, seed)
+    return ResultDocument(
+        artifact="defend",
+        metrics=result.summary(),
+        series={
+            "defenses": list(result.defenses),
+            "rates": list(result.rates),
+            "kinds": list(result.kinds),
+            "detector_method": result.detector_method,
+            "structural_leakage_bits": result.structural_leakage_bits,
+            "baseline": [cell.to_dict() for cell in result.baseline],
+            "cells": [cell.to_dict() for cell in result.cells],
+        },
+        configurations=[
+            [_config_row(r) for r in bucket]
+            for bucket in result.baseline_results + result.results_per_cell
+        ],
+        params=_params_dict(params),
+        provenance=_provenance(params, seed, result),
+        job=job,
+    ).to_json()
+
+
+@keyword_only
 def save_result(
-    result: Union[Fig6Result, Fig7Result, RobustnessResult],
+    result: Union[Fig6Result, Fig7Result, RobustnessResult, DefendResult],
     path: PathLike,
     *,
     params: Optional[ExperimentParams] = None,
@@ -322,6 +360,10 @@ def save_result(
         document = fig7_to_document(result, params=params, seed=seed, spec=spec)
     elif isinstance(result, RobustnessResult):
         document = robustness_to_document(
+            result, params=params, seed=seed, spec=spec
+        )
+    elif isinstance(result, DefendResult):
+        document = defend_to_document(
             result, params=params, seed=seed, spec=spec
         )
     else:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.lint.base import LintRule
+from repro.lint.rules.defense import DefenseStreamRule
 from repro.lint.rules.determinism import SetIterationRule
 from repro.lint.rules.faults import InjectorRandomnessRule
 from repro.lint.rules.mutation import CachedArrayMutationRule
@@ -26,6 +27,7 @@ ALL_RULES: List[LintRule] = [
     InjectorRandomnessRule(),
     PoolWorkerCaptureRule(),
     ServiceGeneratorRule(),
+    DefenseStreamRule(),
 ]
 
 _BY_ID: Dict[str, LintRule] = {rule.rule_id: rule for rule in ALL_RULES}
@@ -39,6 +41,7 @@ def rule_by_id(rule_id: str) -> Optional[LintRule]:
 __all__ = [
     "ALL_RULES",
     "CachedArrayMutationRule",
+    "DefenseStreamRule",
     "InjectorRandomnessRule",
     "ObservabilityContextRule",
     "PoolWorkerCaptureRule",

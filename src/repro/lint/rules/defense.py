@@ -1,0 +1,223 @@
+"""DEF001 -- defenses must draw only from their own spawned stream.
+
+A countermeasure attached to a :class:`~repro.simulator.network.
+Network` samples its artificial delays on the packet hot path.  If it
+draws from the *network's* generator, its samples interleave with the
+simulator's service/setup times and the whole trial stream shifts --
+the exact bug the SEED102 audit caught in ``DelayDefense`` (the fix:
+spawn an independent child stream off the network's seed tree at
+``attach`` time and draw from that ever after).  Module-level RNGs are
+worse still: process-wide hidden state shared across every fork of the
+``--trial-jobs`` pool.
+
+The rule applies to any class whose name ends in ``Defense`` and
+flags, inside its methods:
+
+* any use of the legacy module-level ``np.random`` API (shares
+  :data:`~repro.lint.rules.rng.LEGACY_GLOBAL_API` with RNG001);
+* calls into the stdlib ``random`` module (``random.random()``, ...);
+* ``default_rng(...)`` calls outside ``__init__``/``attach`` --
+  defenses build their stream once at construction or attach, never
+  per packet;
+* generator draws through a non-``self`` ``.rng`` chain (``network.
+  rng.normal(...)``, ``self._network.rng.choice(...)``): that is the
+  simulator's stream, not the defense's.  The one sanctioned use is
+  ``.spawn`` inside ``__init__``/``attach`` -- deriving the defense's
+  own child stream from the network's seed tree (docs/DEFENSES.md).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, FrozenSet, Iterator
+
+from repro.lint.base import AnyFunctionDef, LintRule, ModuleSource
+from repro.lint.findings import Finding
+from repro.lint.rules.faults import _STDLIB_RANDOM_API, _StdlibRandomAliases
+from repro.lint.rules.rng import LEGACY_GLOBAL_API, _ImportAliases
+
+#: Methods that advance a ``np.random.Generator`` stream.
+_GENERATOR_DRAW_API: FrozenSet[str] = frozenset(
+    {
+        "beta",
+        "binomial",
+        "bytes",
+        "chisquare",
+        "choice",
+        "dirichlet",
+        "exponential",
+        "f",
+        "gamma",
+        "geometric",
+        "gumbel",
+        "hypergeometric",
+        "integers",
+        "laplace",
+        "logistic",
+        "lognormal",
+        "multinomial",
+        "multivariate_hypergeometric",
+        "multivariate_normal",
+        "negative_binomial",
+        "noncentral_chisquare",
+        "noncentral_f",
+        "normal",
+        "pareto",
+        "permutation",
+        "permuted",
+        "poisson",
+        "power",
+        "random",
+        "rayleigh",
+        "shuffle",
+        "spawn",
+        "standard_cauchy",
+        "standard_exponential",
+        "standard_gamma",
+        "standard_normal",
+        "standard_t",
+        "triangular",
+        "uniform",
+        "vonmises",
+        "wald",
+        "weibull",
+        "zipf",
+    }
+)
+
+#: Methods where building/spawning the defense's own stream is the
+#: sanctioned pattern rather than a violation.
+_SETUP_METHODS: FrozenSet[str] = frozenset({"__init__", "attach"})
+
+
+class DefenseStreamRule(LintRule):
+    """DEF001: defenses draw only from their owned child stream."""
+
+    rule_id: ClassVar[str] = "DEF001"
+    summary: ClassVar[str] = (
+        "defenses must draw from their own stream spawned at attach, "
+        "never the network's generator or module-level RNGs"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        if module.tree is None:
+            return
+        np_aliases = _ImportAliases()
+        np_aliases.visit(module.tree)
+        std_aliases = _StdlibRandomAliases()
+        std_aliases.visit(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.name.endswith("Defense"):
+                continue
+            for item in node.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_method(
+                        module, node, item, np_aliases, std_aliases
+                    )
+
+    # ------------------------------------------------------------------
+    def _check_method(
+        self,
+        module: ModuleSource,
+        cls: ast.ClassDef,
+        method: AnyFunctionDef,
+        np_aliases: _ImportAliases,
+        std_aliases: _StdlibRandomAliases,
+    ) -> Iterator[Finding]:
+        for node in ast.walk(method):
+            if isinstance(node, ast.Attribute):
+                if (
+                    node.attr in LEGACY_GLOBAL_API
+                    and self._is_numpy_random(node.value, np_aliases)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{cls.name}.{method.name} draws from the legacy "
+                        f"global np.random.{node.attr}; defenses must use "
+                        "their own stream spawned at attach (self._rng)",
+                    )
+                elif (
+                    node.attr in _STDLIB_RANDOM_API
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id in std_aliases.random
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{cls.name}.{method.name} draws from the stdlib "
+                        f"random.{node.attr} global; defenses must use "
+                        "their own stream spawned at attach (self._rng)",
+                    )
+            if not isinstance(node, ast.Call):
+                continue
+            if (
+                method.name not in _SETUP_METHODS
+                and self._is_default_rng(node.func, np_aliases)
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{cls.name}.{method.name} constructs a fresh "
+                    "default_rng() per call; spawn the defense's stream "
+                    "once at attach and draw from self._rng",
+                )
+                continue
+            finding = self._check_foreign_stream(
+                module, cls, method, node
+            )
+            if finding is not None:
+                yield finding
+
+    def _check_foreign_stream(
+        self,
+        module: ModuleSource,
+        cls: ast.ClassDef,
+        method: AnyFunctionDef,
+        node: ast.Call,
+    ) -> Finding | None:
+        """A draw through a ``.rng`` chain the defense does not own."""
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr not in _GENERATOR_DRAW_API:
+            return None
+        owner = func.value
+        if not (isinstance(owner, ast.Attribute) and owner.attr == "rng"):
+            return None
+        base = owner.value
+        if isinstance(base, ast.Name) and base.id == "self":
+            return None  # self.rng is the defense's own attribute
+        if func.attr == "spawn" and method.name in _SETUP_METHODS:
+            return None  # the sanctioned seed-tree derivation
+        return self.finding(
+            module,
+            func,
+            f"{cls.name}.{method.name} draws via .rng.{func.attr} on a "
+            "foreign object (the simulator's stream); spawn an own child "
+            "stream at attach and draw from self._rng",
+        )
+
+    # ------------------------------------------------------------------
+    def _is_numpy_random(
+        self, node: ast.expr, aliases: _ImportAliases
+    ) -> bool:
+        if isinstance(node, ast.Name):
+            return node.id in aliases.numpy_random
+        if isinstance(node, ast.Attribute) and node.attr == "random":
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id in aliases.numpy
+            )
+        return False
+
+    def _is_default_rng(
+        self, func: ast.expr, aliases: _ImportAliases
+    ) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in aliases.default_rng
+        if isinstance(func, ast.Attribute) and func.attr == "default_rng":
+            return self._is_numpy_random(func.value, aliases)
+        return False

@@ -55,7 +55,13 @@ from repro.service.sessions import (
 
 #: Experiments the service accepts (others have no service semantics:
 #: ``reproduce`` composes jobs, ``select`` is interactive tooling).
-SERVICE_EXPERIMENTS: Tuple[str, ...] = ("recon", "fig6", "fig7", "robustness")
+SERVICE_EXPERIMENTS: Tuple[str, ...] = (
+    "recon",
+    "fig6",
+    "fig7",
+    "robustness",
+    "defend",
+)
 
 
 class ServiceBudgetExhausted(RuntimeError):
@@ -305,10 +311,12 @@ class ReconService:
         )
 
     async def _run_batch(self, spec: JobSpec) -> Dict[str, object]:
-        """Dispatch a fig6/fig7/robustness job to its batch runner."""
+        """Dispatch a fig6/fig7/robustness/defend job to its runner."""
+        from repro.experiments.defend import run_defend
         from repro.experiments.fig6 import run_fig6
         from repro.experiments.fig7 import run_fig7
         from repro.experiments.persist import (
+            defend_to_document,
             fig6_to_document,
             fig7_to_document,
             robustness_to_document,
@@ -327,6 +335,8 @@ class ReconService:
             document = fig6_to_document(run_fig6(spec), spec=spec)
         elif spec.experiment == "fig7":
             document = fig7_to_document(run_fig7(spec), spec=spec)
+        elif spec.experiment == "defend":
+            document = defend_to_document(run_defend(spec), spec=spec)
         else:
             document = robustness_to_document(run_robustness(spec), spec=spec)
         self.store.write_result(job_id, document)

@@ -42,7 +42,7 @@ from repro.flows.rules import (
     RuleTable,
 )
 from repro.flows.universe import FlowUniverse
-from repro.obs import sanitize
+from repro.obs import get_instrumentation, sanitize
 from repro.simulator.controller import ReactiveController
 from repro.simulator.events import Simulator
 from repro.simulator.messages import ECHO_REPLY, ECHO_REQUEST, Packet
@@ -144,6 +144,20 @@ class Network:
         self.policy_rules = RuleTable(rules)
         self.defense = defense
         self.proactive_defense_active = False
+        if defense is not None:
+            # Resolved once here, not per packet: the hooks sit on the
+            # forwarding hot path.  Without a defense the hooks never
+            # touch instrumentation at all.
+            metrics = get_instrumentation().metrics
+            self._obs_defense_observed = metrics.counter(
+                "defense.packets_observed"
+            )
+            self._obs_defense_delayed = metrics.counter(
+                "defense.packets_delayed"
+            )
+            self._obs_defense_delay = metrics.histogram(
+                "defense.added_delay_seconds"
+            )
         # Optional fault injector (docs/FAULTS.md).  ``None`` (and an
         # all-zero plan) leaves every code path byte-identical to the
         # fault-free simulator -- the injector owns its own RNG and is
@@ -390,12 +404,17 @@ class Network:
         """Let an attached defense see every packet entering a switch."""
         if self.defense is not None:
             self.defense.observe(switch, packet)
+            self._obs_defense_observed.inc()
 
     def defense_forward_delay(self, switch: Switch, packet: Packet) -> float:
         """Extra hit-path delay contributed by an attached defense."""
         if self.defense is None:
             return 0.0
-        return self.defense.forward_delay(switch, packet)
+        extra = self.defense.forward_delay(switch, packet)
+        if extra > 0.0:
+            self._obs_defense_delayed.inc()
+            self._obs_defense_delay.observe(extra)
+        return extra
 
     # ------------------------------------------------------------------
     # Introspection

@@ -140,9 +140,14 @@ class Prober:
         sim = self.network.sim
         timeout = self.timeout
         attempts = 0
+        # One probe identity per measurement: a retransmission re-sends
+        # the *same* probe (same ICMP id/seq), like a real attacker's
+        # retry timer.  Keeping the id stable across attempts is what
+        # lets per-burst defenses recognise the retransmission instead
+        # of treating every attempt as a brand-new flow arrival.
+        probe_id = next(_probe_ids)
         while True:
             attempts += 1
-            probe_id = next(_probe_ids)
             send_time = sim.now
             self.network.send_probe(flow, probe_id)
             observed = self._await_reply(probe_id, send_time + timeout)

@@ -139,3 +139,74 @@ class TestProactiveDefense:
             flow = config.universe.flows[config.target_flow]
             outcomes.append(prober.measure(flow).hit)
         assert outcomes[0] == outcomes[1] is True
+
+
+class _ScriptedRng:
+    """Stand-in generator yielding a scripted uniform sequence."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def random(self):
+        return self._draws.pop(0)
+
+
+class TestDelayDefenseUnderRetries:
+    """Regression: padding must survive probe retransmission (PR 4 path).
+
+    A retransmitted probe re-sends the *same* probe id, so the defense
+    must (a) recognise the retransmission and pad it on every attempt
+    -- previously the padding budget was charged once and the retry
+    sailed through unpadded, re-opening the timing channel whenever a
+    reply was lost -- and (b) never charge the retransmission fresh
+    ``first_k`` budget.
+    """
+
+    def build(self, config, reply_draws):
+        from repro.faults import FaultInjector, FaultPlan
+
+        defense = DelayDefense(first_k=2, delay_mean=0.01, delay_std=0.0)
+        network = Network(
+            config.concrete_rules,
+            config.universe,
+            cache_size=config.cache_size,
+            rng=np.random.default_rng(0),
+            defense=defense,
+            faults=FaultInjector(
+                FaultPlan(probe_reply_loss=0.5),
+                rng=_ScriptedRng(reply_draws),
+            ),
+        )
+        return network, defense
+
+    def test_retransmitted_hit_is_padded_on_every_attempt(self, config):
+        # Reply draws: miss reply kept, first hit reply eaten, its
+        # retransmission's reply kept.
+        network, defense = self.build(config, [0.9, 0.1, 0.9])
+        prober = Prober(network, retries=1, timeout=0.05)
+        flow = config.universe.flows[config.target_flow]
+        prober.measure(flow)           # miss: burst slot 1, no padding
+        result = prober.measure(flow)  # hit, retried once
+        assert result.attempts == 2
+        assert result.observed
+        # The surviving attempt's RTT includes the 10 ms pad: the
+        # defense still hides the hit even though the reply was lost.
+        assert result.rtt >= 0.01
+        assert not result.hit
+        # Both attempts were padded (slot 2 <= first_k on each).
+        assert defense.packets_delayed == 2
+
+    def test_retransmission_consumes_no_fresh_budget(self, config):
+        network, defense = self.build(config, [0.9, 0.1, 0.9, 0.9])
+        prober = Prober(network, retries=1, timeout=0.05)
+        flow = config.universe.flows[config.target_flow]
+        prober.measure(flow)           # slot 1 (miss)
+        prober.measure(flow)           # slot 2, retried: padded twice
+        slots = defense._burst_slots[flow]
+        assert sorted(slots.values()) == [1, 2]
+        # A third distinct packet sits past first_k: the retransmission
+        # did not steal its budget slot.
+        third = prober.measure(flow)
+        assert third.attempts == 1
+        assert third.hit
+        assert defense.packets_delayed == 2

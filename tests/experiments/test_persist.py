@@ -209,6 +209,49 @@ class TestV2FixtureMigration:
         assert self.FIXTURE.read_text() == before
 
 
+class TestV3DefendFixture:
+    """The committed schema-v3 defend envelope (written by this
+    release) loads verbatim: it is already the current schema, carries
+    the defense/detector job fields, and round-trips through
+    :class:`JobSpec` without loss."""
+
+    FIXTURE = Path(__file__).parent / "fixtures" / "result_v3_defend.json"
+
+    def test_fixture_is_current_schema_on_disk(self):
+        raw = json.loads(self.FIXTURE.read_text())
+        assert raw["schema_version"] == SCHEMA_VERSION
+        assert raw["artifact"] == "defend"
+        assert raw["job"]["defense"] == ["delay"]
+        assert raw["job"]["detector"] == "logistic"
+        assert raw["job"]["trial_mode"] == "network"
+
+    def test_load_is_a_no_op_migration(self):
+        raw = json.loads(self.FIXTURE.read_text())
+        document = load_document(self.FIXTURE)
+        assert document == raw
+        assert self.FIXTURE.read_text() == json.dumps(
+            raw, indent=2, sort_keys=True
+        )
+
+    def test_job_section_round_trips_through_jobspec(self):
+        from repro.apispec import JobSpec
+
+        job = load_document(self.FIXTURE)["job"]
+        spec = JobSpec.from_dict(job)
+        assert spec.experiment == "defend"
+        assert spec.defense == ("delay",)
+        assert spec.detector == "logistic"
+        assert spec.to_dict() == job
+
+    def test_series_carries_the_grid_axes(self):
+        series = load_document(self.FIXTURE)["series"]
+        assert series["defenses"] == ["delay"]
+        assert series["detector_method"] == "logistic"
+        assert len(series["baseline"]) == 1
+        assert len(series["cells"]) == 1
+        assert series["cells"][0]["defense"] == "delay"
+
+
 class TestCompareHeadlines:
     def test_deltas(self, fig6_result):
         document = fig6_to_document(fig6_result)

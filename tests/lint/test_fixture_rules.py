@@ -47,6 +47,7 @@ FIXTURE_CASES = [
     ("flt_violations.py", "FLT001", 5),
     ("par_violations.py", "PAR001", 5),
     ("srv_violations.py", "SRV101", 3),
+    ("def_violations.py", "DEF001", 6),
 ]
 
 

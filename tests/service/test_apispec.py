@@ -30,6 +30,22 @@ class TestRoundTrips:
         )
         assert JobSpec.from_dict(spec.to_dict()) == spec
 
+    def test_defense_and_detector_round_trip(self):
+        spec = JobSpec(
+            experiment="defend",
+            config=tiny_config_params(),
+            n_configs=2,
+            n_trials=4,
+            seed=7,
+            trial_mode="network",
+            defense=("none", "delay"),
+            detector="logistic",
+        )
+        restored = JobSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.defense == ("none", "delay")
+        assert restored.detector == "logistic"
+
     def test_to_dict_is_json_shaped(self):
         import json
 
@@ -102,6 +118,18 @@ class TestFromArgs:
         assert spec.kinds == ("packet_in_loss",)
         assert spec.targets == (1, 2)
 
+    def test_defense_list_splits_and_detector_threads_through(self):
+        spec = JobSpec.from_args(
+            self._namespace(
+                mode="network",
+                defense="none, delay",
+                detector="threshold",
+            ),
+            "defend",
+        )
+        assert spec.defense == ("none", "delay")
+        assert spec.detector == "threshold"
+
 
 class TestValidation:
     def test_unknown_experiment_rejected(self):
@@ -111,7 +139,32 @@ class TestValidation:
     def test_experiments_registry_is_closed(self):
         assert set(EXPERIMENTS) == {
             "fig6", "fig7", "robustness", "reproduce", "select", "recon",
+            "defend",
         }
+
+    def test_unknown_defense_rejected(self):
+        with pytest.raises(ValueError, match="unknown defense"):
+            JobSpec(
+                config=tiny_config_params(),
+                trial_mode="network",
+                defense=("firewall",),
+            )
+
+    def test_empty_defense_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            JobSpec(config=tiny_config_params(), defense=())
+
+    def test_defense_requires_network_mode(self):
+        with pytest.raises(ValueError, match="network-mode"):
+            JobSpec(
+                config=tiny_config_params(),
+                trial_mode="table",
+                defense=("delay",),
+            )
+
+    def test_unknown_detector_rejected(self):
+        with pytest.raises(ValueError, match="unknown detector"):
+            JobSpec(config=tiny_config_params(), detector="oracle")
 
     def test_negative_targets_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):
