@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast bench bench-smoke bench-full demo examples check check-project sanitize-smoke lint stats faults-smoke parallel-smoke serve-smoke defend-smoke coverage clean
+.PHONY: install test test-fast bench bench-smoke bench-full profile-headline demo examples check check-project sanitize-smoke lint stats faults-smoke parallel-smoke serve-smoke defend-smoke coverage clean
 
 install:
 	pip install -e .
@@ -27,6 +27,25 @@ bench-smoke:
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Where the headline run spends its budget: a reduced-scale headline
+# experiment with the phase profiler attached, printed as a per-phase
+# wall/CPU breakdown (model build, exact + fast screening, probe
+# selection, trials).  Set REPRO_SIMPATH=reference to profile the
+# unoptimized path for comparison.
+profile-headline:
+	PYTHONPATH=src $(PYTHON) -m repro.cli headline \
+		--configs 4 --trials 20 --seed 2017 --mode table \
+		--metrics /tmp/repro-profile-metrics.json
+	@$(PYTHON) -c "import json; \
+		doc = json.load(open('/tmp/repro-profile-metrics.json')); \
+		phases = doc.get('phases', {}); \
+		rows = sorted(phases.items(), key=lambda kv: -kv[1]['wall_s']); \
+		print(); \
+		print(f'{\"phase\":<32}{\"wall s\":>9}{\"cpu s\":>9}{\"count\":>8}'); \
+		[print(f'{n:<32}{v[\"wall_s\"]:>9.2f}{v[\"cpu_s\"]:>9.2f}{v[\"count\"]:>8.0f}') for n, v in rows]; \
+		total = sum(v['wall_s'] for v in phases.values()); \
+		print(f'{\"(sum of phases)\":<32}{total:>9.2f}')"
 
 demo:
 	$(PYTHON) -m repro.cli demo

@@ -18,12 +18,18 @@ from __future__ import annotations
 
 from repro.experiments.harness import ConfigHarness
 from repro.experiments.params import ExperimentParams
+from repro.flows.config import ConfigParams
 
 #: Pinned configuration seeds.  Spread out so the batch covers a range
 #: of policy shapes (rule counts, coverage overlap, cache pressure).
 PROXY_SEEDS = (11, 97, 211, 311, 433, 557, 653, 769, 883, 907, 1013, 1103)
 
 PROXY_TRIALS = 8
+
+#: Pinned seeds for the simulator proxy (network-mode trials).
+PROXY_SIM_SEEDS = (23, 151, 389, 677)
+
+PROXY_SIM_TRIALS = 60
 
 
 def run_proxy():
@@ -41,6 +47,39 @@ def run_proxy():
 def test_bench_proxy(benchmark, bench_compare):
     results = benchmark.pedantic(run_proxy, rounds=1, iterations=1)
     assert len(results) == len(PROXY_SEEDS)
+    for result in results:
+        for accuracy in result.accuracies.values():
+            assert 0.0 <= accuracy <= 1.0
+    bench_compare(benchmark)
+
+
+def run_simulator_proxy():
+    """Network-mode trials over pinned configurations.
+
+    Unlike :func:`run_proxy` (kernel-dominated table replay), this
+    batch spends its time inside the packet-level simulator: background
+    arrival scheduling, switch lookups, controller round trips, and
+    flow-table expiry.  ``cache_size`` is doubled over the paper's
+    default so the table holds enough live entries for the indexed
+    fast path's lookup and expiry structures to matter -- the linear
+    scan degrades with table occupancy, the index does not.
+    """
+    results = []
+    for seed in PROXY_SIM_SEEDS:
+        params = ExperimentParams(
+            config=ConfigParams(n_rules=14, cache_size=12),
+            n_trials=PROXY_SIM_TRIALS,
+            seed=seed,
+            trial_mode="network",
+        )
+        harness = ConfigHarness.sample(params)
+        results.append(harness.run_trials())
+    return results
+
+
+def test_bench_proxy_simulator(benchmark, bench_compare):
+    results = benchmark.pedantic(run_simulator_proxy, rounds=1, iterations=1)
+    assert len(results) == len(PROXY_SIM_SEEDS)
     for result in results:
         for accuracy in result.accuracies.values():
             assert 0.0 <= accuracy <= 1.0

@@ -90,6 +90,9 @@ class JobSpec:
     probe_retries: int = 0
     trial_jobs: int = 1
     kernel: str = "auto"
+    #: Simulation/screening path (``repro.core.simpath``): "reference",
+    #: "fastpath", or "auto".  Both paths yield identical results.
+    simpath: str = "auto"
     #: Robustness sweep grid (``None`` = the sweep's defaults).
     rates: Optional[Tuple[float, ...]] = None
     kinds: Optional[Tuple[str, ...]] = None
@@ -193,6 +196,7 @@ class JobSpec:
             probe_retries=self.probe_retries,
             trial_jobs=self.trial_jobs,
             kernel=self.kernel,
+            simpath=self.simpath,
         )
 
     @classmethod
@@ -218,6 +222,7 @@ class JobSpec:
             probe_retries=params.probe_retries,
             trial_jobs=params.trial_jobs,
             kernel=params.kernel,
+            simpath=params.simpath,
             **extra,  # type: ignore[arg-type]
         )
 
@@ -325,6 +330,7 @@ class JobSpec:
             probe_retries=getattr(args, "probe_retries", 0),
             trial_jobs=getattr(args, "trial_jobs", 1),
             kernel=getattr(args, "kernel", "auto"),
+            simpath=getattr(args, "simpath", "auto"),
             rates=(
                 tuple(float(part) for part in rates.split(","))
                 if isinstance(rates, str)

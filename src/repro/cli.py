@@ -175,6 +175,7 @@ def add_common_args(
         )
     if kernel:
         from repro.core.kernels import KERNEL_CHOICES
+        from repro.core.simpath import SIMPATH_CHOICES
 
         parser.add_argument(
             "--kernel", choices=KERNEL_CHOICES, default="auto",
@@ -182,6 +183,15 @@ def add_common_args(
                 "probability kernel: dense reference, sparse vectorised, "
                 "or auto (sparse + compiled matvecs when available); "
                 "all choices compute identical probabilities"
+            ),
+        )
+        parser.add_argument(
+            "--simpath", choices=SIMPATH_CHOICES, default="auto",
+            help=(
+                "simulation/screening path: reference linear scans and "
+                "exact screening, fastpath indexed tables + certified "
+                "float32 screening, or auto (fastpath); both paths "
+                "produce bit-identical results"
             ),
         )
     parser.add_argument(

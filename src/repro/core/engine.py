@@ -99,6 +99,9 @@ class ScoringStats:
     #: Probability kernel the underlying model resolved to
     #: (``dense``, ``sparse``, or ``sparse+numba``).
     kernel: str = "dense"
+    #: Simulation/screening path the run resolved to
+    #: (``reference`` or ``fastpath``; repro.core.simpath).
+    simpath: str = "reference"
     #: Wall-clock seconds per stage (``score``, ``select``, ``total``).
     wall_times: Dict[str, float] = field(default_factory=dict)
 
@@ -118,6 +121,7 @@ class ScoringStats:
             ["pool fallbacks", self.pool_fallbacks],
             ["n_jobs", self.n_jobs],
             ["kernel", self.kernel],
+            ["simpath", self.simpath],
         ]
         for stage in sorted(self.wall_times):
             rows.append([f"{stage} time (s)", f"{self.wall_times[stage]:.6f}"])
@@ -263,9 +267,12 @@ class ProbeScoringEngine:
             raise ValueError("n_jobs must be >= 1")
         self.inference = inference
         self.n_jobs = int(n_jobs)
+        from repro.core.simpath import resolve_simpath
+
         self.stats = ScoringStats(
             n_jobs=self.n_jobs,
             kernel=inference.model.kernel.describe(),
+            simpath=resolve_simpath().describe(),
         )
         self._worker_deltas: Dict[str, int] = {}
         # Observability backend: explicit argument wins, else whatever

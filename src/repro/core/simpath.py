@@ -1,0 +1,106 @@
+"""Simulation/screening path selection (reference vs. fast path).
+
+The reproduction keeps two implementations of the hot execution paths
+that sit *outside* the probability kernels (those are selected by
+:mod:`repro.core.kernels`):
+
+* ``reference`` -- the original implementations: linear-scan
+  :class:`~repro.simulator.flowtable.FlowTable` lookups, one scheduled
+  event per background packet, and exact float64 screening of every
+  sampled candidate configuration.
+* ``fastpath`` -- the optimized implementations: a priority-bucketed
+  exact-match flow-table index with a lazy-deletion expiry heap, batched
+  background-traffic delivery merged with the event heap, and a
+  margin-certified float32 screening pre-pass that falls back to the
+  exact float64 screen whenever its error bounds cannot certify the
+  verdict.  Every accepted candidate is re-confirmed by the exact
+  screen, so accepted results are bit-identical to ``reference``.
+* ``auto`` -- ``fastpath``.  The fast path degrades gracefully (e.g. the
+  native screening kernel falls back to numpy when no C compiler is
+  available), so ``auto`` is always safe to request.
+
+The resolved path is plumbed into experiment provenance
+(ResultDocument/ScoringStats) so persisted results record which path
+produced them, and the fastpath==reference differential suite
+(tests/experiments/test_simpath_diff.py) pins the two paths to
+bit-identical results over the headline experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+#: Simulation-path names accepted by params, the CLI, and the service.
+SIMPATH_CHOICES = ("reference", "fastpath", "auto")
+
+#: Environment override for the default path (same choices).
+SIMPATH_ENV_VAR = "REPRO_SIMPATH"
+
+
+@dataclass(frozen=True)
+class ResolvedSimPath:
+    """A concrete simulation-path choice after ``auto`` resolution."""
+
+    #: What the caller asked for ("reference", "fastpath", or "auto").
+    requested: str
+    #: The implementation actually used.
+    name: str
+
+    @property
+    def fast(self) -> bool:
+        """Whether the optimized implementations are active."""
+        return self.name == "fastpath"
+
+    def describe(self) -> str:
+        """Human/provenance label, e.g. ``"fastpath"``."""
+        return self.name
+
+
+def resolve_simpath(name: Optional[str] = None) -> ResolvedSimPath:
+    """Resolve a path request (or the ambient default) to an impl.
+
+    ``None`` consults :data:`SIMPATH_ENV_VAR` and falls back to
+    ``"auto"``.  ``auto`` also defers to a concrete (non-``auto``)
+    :data:`SIMPATH_ENV_VAR` value -- params carry ``simpath="auto"`` by
+    default, and the env var must be able to flip such runs to the
+    reference path (the differential suite and ``--bench-compare`` rely
+    on it) -- and otherwise means the fast path.
+    """
+    requested = name if name is not None else _default_simpath_name()
+    if requested not in SIMPATH_CHOICES:
+        raise ValueError(
+            f"unknown simpath {requested!r}; choose from {SIMPATH_CHOICES}"
+        )
+    if requested == "auto":
+        ambient = _default_simpath_name()
+        if ambient not in SIMPATH_CHOICES:
+            raise ValueError(
+                f"unknown {SIMPATH_ENV_VAR} value {ambient!r}; "
+                f"choose from {SIMPATH_CHOICES}"
+            )
+        resolved = "fastpath" if ambient == "auto" else ambient
+        return ResolvedSimPath("auto", resolved)
+    return ResolvedSimPath(requested, requested)
+
+
+def _default_simpath_name() -> str:
+    value = os.environ.get(SIMPATH_ENV_VAR, "").strip()
+    return value if value else "auto"
+
+
+@contextmanager
+def simpath_override(name: str) -> Iterator[None]:
+    """Temporarily force the ambient default path (tests/benchmarks)."""
+    resolve_simpath(name)  # validate eagerly
+    previous = os.environ.get(SIMPATH_ENV_VAR)
+    os.environ[SIMPATH_ENV_VAR] = name
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(SIMPATH_ENV_VAR, None)
+        else:
+            os.environ[SIMPATH_ENV_VAR] = previous

@@ -79,6 +79,7 @@ class ConfigHarness:
         *,
         rng: Optional[np.random.Generator] = None,
         latency: Optional[LatencyModel] = None,
+        model: Optional[CompactModel] = None,
     ) -> None:
         self.config = config
         self.params = params
@@ -92,7 +93,10 @@ class ConfigHarness:
             n_flows=len(config.universe),
             cache_size=config.cache_size,
         ):
-            self.model = CompactModel(
+            # ``model`` lets the fast screen hand over the CompactModel
+            # it already built for this configuration instead of paying
+            # for a second identical build (repro.experiments.fastscreen).
+            self.model = model if model is not None else CompactModel(
                 config.policy,
                 config.universe,
                 config.delta,
@@ -343,12 +347,15 @@ def sample_screened_harnesses(
         if execution is not None:
             execution.harness_builds += len(harnesses)
         return harnesses
+    from repro.experiments import fastscreen
+
     harnesses: List[ConfigHarness] = []
     attempts = 0
     max_attempts = max(1, n_configs) * max_attempts_factor
     obs = get_instrumentation()
     sampled = obs.metrics.counter("experiment.configs_sampled")
     screened_out = obs.metrics.counter("experiment.configs_screened_out")
+    fast = fastscreen.supports(params)
     while len(harnesses) < n_configs:
         attempts += 1
         if attempts > max_attempts:
@@ -357,8 +364,25 @@ def sample_screened_harnesses(
                 f"after {attempts} attempts; relax the screens or the "
                 "absence range"
             )
-        harness = ConfigHarness.sample(params, generator=generator)
-        sampled.inc()
+        if fast:
+            # Certified float32 pre-screen: rejects only when the
+            # rejection is provable within calibrated error bounds, so
+            # accepted harnesses (and the generator's RNG stream) are
+            # bit-identical to the reference loop below.
+            config = generator.sample()
+            sampled.inc()
+            outcome = fastscreen.screen_candidate(
+                params, config, require_optimal_differs=require_optimal_differs
+            )
+            if outcome.certified_reject:
+                screened_out.inc()
+                continue
+            harness = ConfigHarness(
+                config, params, rng=generator.rng, model=outcome.model
+            )
+        else:
+            harness = ConfigHarness.sample(params, generator=generator)
+            sampled.inc()
         if params.screen and not harness.is_screened_in():
             screened_out.inc()
             continue

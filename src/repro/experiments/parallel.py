@@ -341,7 +341,9 @@ class _ScreenContext:
 
 
 def screening_verdicts(
-    params: ExperimentParams, config: NetworkConfiguration
+    params: ExperimentParams,
+    config: NetworkConfiguration,
+    require_optimal_differs: bool = False,
 ) -> Tuple[bool, bool]:
     """``(screened_in, optimal_differs)`` for one candidate configuration.
 
@@ -349,13 +351,32 @@ def screening_verdicts(
     worker cannot fork children of its own; the engine's selection is
     bit-identical for every ``n_jobs``) and a throwaway seeded
     generator -- screening never draws from the harness generator.
+
+    When the certified float32 fast screen applies
+    (repro.experiments.fastscreen) and proves the candidate rejected,
+    the exact harness is skipped and the verdict reports the rejection
+    through whichever of the two checks is active (``(False, True)``
+    under ``params.screen``, else ``(True, False)``).  The acceptance
+    loop takes exactly one rejection branch either way, so accepted
+    configurations, counters, and the generator stream are identical;
+    only the unevaluated tuple component is conventional.
     """
+    from repro.experiments import fastscreen
     from repro.experiments.harness import ConfigHarness
 
+    model = None
+    if fastscreen.supports(params):
+        outcome = fastscreen.screen_candidate(
+            params, config, require_optimal_differs=require_optimal_differs
+        )
+        if outcome.certified_reject:
+            return (False, True) if params.screen else (True, False)
+        model = outcome.model
     harness = ConfigHarness(
         config,
         replace(params, selection_n_jobs=1),
         rng=np.random.default_rng(0),
+        model=model,
     )
     return harness.is_screened_in(), harness.optimal_differs_from_target()
 
@@ -374,11 +395,15 @@ def _screen_work(
     context = _SCREEN_CONTEXT
     assert context is not None, "worker used before initialisation"
     if not context.collect_counters:
-        screened, differs = screening_verdicts(context.params, config)
+        screened, differs = screening_verdicts(
+            context.params, config, context.require_optimal_differs
+        )
         return screened, differs, {}
     worker_obs = Instrumentation()
     with use_instrumentation(worker_obs):
-        screened, differs = screening_verdicts(context.params, config)
+        screened, differs = screening_verdicts(
+            context.params, config, context.require_optimal_differs
+        )
     return screened, differs, counter_deltas(worker_obs)
 
 
@@ -466,7 +491,8 @@ def screen_accepted_configs(
                 # Parent-side screening: counters land directly on the
                 # parent backend, exactly like the serial loop.
                 verdicts = [
-                    screening_verdicts(params, config) + ({},)
+                    screening_verdicts(params, config, require_optimal_differs)
+                    + ({},)
                     for config in batch
                 ]
             else:

@@ -171,10 +171,15 @@ def _provenance(
     # the resolution documents how the run's compute was performed.
     if params is not None:
         from repro.core.kernels import resolve_kernel
+        from repro.core.simpath import resolve_simpath
 
         provenance["kernel"] = params.kernel
         provenance["kernel_resolved"] = resolve_kernel(
             params.kernel
+        ).describe()
+        provenance["simpath"] = params.simpath
+        provenance["simpath_resolved"] = resolve_simpath(
+            params.simpath
         ).describe()
     return provenance
 

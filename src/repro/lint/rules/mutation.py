@@ -1,9 +1,12 @@
 """MUT001 -- cached model/inference arrays are read-only.
 
 The probe-scoring engine's speed comes from aliasing: ``evolution()``,
-``prefix_distribution()``, ``coverage_vector()`` and ``probe_matrix()``
-return the cached object itself, and ``dist_full`` / ``dist_absent``
-*are* cache entries.  Writing through any of those references corrupts
+``prefix_distribution()``, ``coverage_vector()``, ``probe_matrix()``
+and the model's memoised transition-entry accessors
+(``_ensure_entries()`` / ``_sorted_entries()``, which the fast screen
+reads directly) return the cached object itself, and ``dist_full`` /
+``dist_absent`` *are* cache entries.  Writing through any of those
+references corrupts
 every later score drawn from the same cache -- silently, because the
 numbers stay plausible.  (The runtime complement: the caches return
 arrays with ``writeable=False``, so an uncaught mutation raises.)
@@ -36,6 +39,8 @@ from repro.lint.findings import Finding
 #: Methods returning cached (aliased) arrays/matrices.
 CACHE_ACCESSOR_METHODS: FrozenSet[str] = frozenset(
     {
+        "_ensure_entries",
+        "_sorted_entries",
         "coverage_vector",
         "evolution",
         "prefix_distribution",
@@ -198,7 +203,8 @@ class CachedArrayMutationRule(LintRule):
     summary: ClassVar[str] = (
         "arrays returned by cache accessors "
         "(prefix_distribution/evolution/coverage_vector/probe_matrix, "
-        "dist_full/dist_absent) must not be mutated"
+        "_ensure_entries/_sorted_entries, dist_full/dist_absent) "
+        "must not be mutated"
     )
 
     def check(self, module: ModuleSource) -> Iterator[Finding]:

@@ -19,14 +19,40 @@ the cited OVS documentation prescribes):
 Expiry is processed lazily at each operation; :meth:`FlowTable.sweep`
 forces it, which trial runners call when they need exact ground truth at
 a point in time.
+
+Two implementations share these semantics:
+
+* :class:`ReferenceFlowTable` -- the original linear-scan code: every
+  operation walks all entries.  Simple, and the ground truth the fast
+  path is pinned against (tests/simulator/test_flowtable.py and the
+  simpath differential suite).
+* :class:`IndexedFlowTable` -- the fast path: priority-bucketed entries
+  with a per-flow winner cache for lookups, and a lazy-deletion expiry
+  heap so ``sweep`` / ``next_expiry`` / ``_pick_victim`` touch only the
+  entries whose timers actually fire instead of scanning the table.
+
+:func:`make_flow_table` selects between them via
+:mod:`repro.core.simpath`; the observable behavior (matches, victims,
+expiry order, stats, obs counters) is identical by construction.  The
+pinned tie-breaks, in both implementations:
+
+* lookup winner: highest priority, then earliest-installed;
+* eviction victim: smallest remaining lifetime, then earliest
+  ``install_time``, then earliest-installed;
+* ``sweep`` returns expired entries in install order.
+
+``FlowTable`` remains an alias of the reference implementation so
+existing imports keep their exact historical behavior.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.simpath import resolve_simpath
 from repro.flows.flowid import FlowId
 from repro.flows.rules import Rule
 from repro.obs import get_instrumentation
@@ -64,7 +90,7 @@ class TableEntry:
         return not self.rule.is_permanent()
 
 
-class FlowTable:
+class ReferenceFlowTable:
     """Capacity-limited flow table with OVS eviction semantics."""
 
     def __init__(self, capacity: int) -> None:
@@ -211,3 +237,296 @@ class FlowTable:
             if entry.evictable
         ]
         return min(times) if times else math.inf
+
+
+#: Historical name: existing imports get the reference implementation.
+FlowTable = ReferenceFlowTable
+
+
+def _entry_expiry(entry: TableEntry) -> float:
+    """Absolute expiry time under the entry's current timers.
+
+    ``entry.remaining(now)`` equals ``expiry - now`` after rounding (the
+    reference's per-term subtractions commute with ``min`` because
+    rounding is monotone), so ordering entries by this absolute time
+    reproduces the reference's remaining-lifetime ordering at every
+    ``now``.
+    """
+    expiry = math.inf
+    rule = entry.rule
+    if rule.idle_timeout > 0:
+        expiry = min(expiry, entry.last_match + rule.idle_timeout)
+    if rule.hard_timeout > 0:
+        expiry = min(expiry, entry.install_time + rule.hard_timeout)
+    return expiry
+
+
+class IndexedFlowTable(ReferenceFlowTable):
+    """The fast-path flow table: indexed lookups, heap-driven expiry.
+
+    Three structures ride alongside the entry dict:
+
+    * ``_buckets`` -- entries grouped by priority, priorities kept in a
+      descending sorted list: a lookup scans buckets top-down and stops
+      at the first cover, instead of scanning the whole table;
+    * ``_winners`` -- a per-flow winner cache (the exact-match index:
+      keyed by the flow 5-tuple), invalidated whenever the entry set
+      changes; repeated lookups of the same flow are O(1);
+    * ``_heap`` -- a lazy-deletion min-heap of
+      ``(expiry, install_time, seq, name)`` tuples; timer refreshes push
+      a fresh tuple and leave the stale one to be discarded on pop, so
+      ``sweep`` / ``next_expiry`` / ``_pick_victim`` cost O(log n) per
+      fired timer rather than a table scan.
+
+    The heap tuple mirrors the reference tie-breaks: remaining lifetime
+    (== expiry at fixed ``now``), then ``install_time``, then install
+    sequence (the reference's dict order).  ``sweep`` re-sorts the
+    expired batch by sequence to return the reference's install order.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._buckets: Dict[int, Dict[str, TableEntry]] = {}
+        #: Priorities with a live bucket, sorted descending.
+        self._priorities: List[int] = []
+        self._winners: Dict[
+            Tuple[int, int, int, int, int], Optional[TableEntry]
+        ] = {}
+        #: (expiry, install_time, seq, name) with stale tuples left in.
+        self._heap: List[Tuple[float, float, int, str]] = []
+        self._seq = 0
+        #: seq/expiry per live entry, to recognise stale heap tuples.
+        self._index: Dict[str, Tuple[int, float]] = {}
+        self._entries_cache: Optional[Tuple[TableEntry, ...]] = None
+        self._names_cache: Optional[Tuple[str, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _index_add(self, entry: TableEntry) -> None:
+        name = entry.rule.name
+        priority = entry.rule.priority
+        bucket = self._buckets.get(priority)
+        if bucket is None:
+            bucket = self._buckets[priority] = {}
+            self._insert_priority(priority)
+        bucket[name] = entry
+        seq = self._seq
+        self._seq += 1
+        expiry = _entry_expiry(entry)
+        self._index[name] = (seq, expiry)
+        if entry.evictable:
+            heapq.heappush(
+                self._heap, (expiry, entry.install_time, seq, name)
+            )
+        self._winners.clear()
+        self._entries_cache = None
+        self._names_cache = None
+
+    def _index_discard(self, entry: TableEntry) -> None:
+        name = entry.rule.name
+        priority = entry.rule.priority
+        bucket = self._buckets[priority]
+        del bucket[name]
+        if not bucket:
+            del self._buckets[priority]
+            self._priorities.remove(priority)
+        del self._index[name]
+        self._winners.clear()
+        self._entries_cache = None
+        self._names_cache = None
+
+    def _insert_priority(self, priority: int) -> None:
+        # bisect on a descending list (bisect's key/reverse support is
+        # too new for the 3.9 floor): find the first smaller priority.
+        priorities = self._priorities
+        lo, hi = 0, len(priorities)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if priorities[mid] > priority:
+                lo = mid + 1
+            else:
+                hi = mid
+        priorities.insert(lo, priority)
+
+    def _reschedule(self, entry: TableEntry) -> None:
+        """Re-key the entry's heap tuple after a timer refresh."""
+        name = entry.rule.name
+        seq, _ = self._index[name]
+        expiry = _entry_expiry(entry)
+        self._index[name] = (seq, expiry)
+        if entry.evictable:
+            heapq.heappush(
+                self._heap, (expiry, entry.install_time, seq, name)
+            )
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        # Bound the stale-tuple backlog: rebuild once the heap is mostly
+        # garbage (idle refreshes push one tuple per cache hit).
+        if len(self._heap) > 64 and len(self._heap) > 8 * len(self._entries):
+            live = []
+            for name, (seq, expiry) in self._index.items():
+                entry = self._entries[name]
+                if entry.evictable:
+                    live.append((expiry, entry.install_time, seq, name))
+            heapq.heapify(live)
+            self._heap = live
+
+    def _heap_top(self) -> Optional[Tuple[float, float, int, str]]:
+        """The smallest live heap tuple, discarding stale ones."""
+        heap = self._heap
+        while heap:
+            expiry, _, seq, name = heap[0]
+            current = self._index.get(name)
+            if current is not None and current == (seq, expiry):
+                return heap[0]
+            heapq.heappop(heap)
+        return None
+
+    # ------------------------------------------------------------------
+    # API overrides
+    # ------------------------------------------------------------------
+    @property
+    def entries(self) -> Tuple[TableEntry, ...]:
+        """All live entries (order unspecified)."""
+        if self._entries_cache is None:
+            self._entries_cache = tuple(self._entries.values())
+        return self._entries_cache
+
+    def rule_names(self) -> Tuple[str, ...]:
+        """Names of cached rules (sorted, for stable comparisons)."""
+        if self._names_cache is None:
+            self._names_cache = tuple(sorted(self._entries.keys()))
+        return self._names_cache
+
+    def sweep(self, now: float) -> List[TableEntry]:
+        """Remove and return entries that have expired by ``now``."""
+        expired: List[Tuple[int, TableEntry]] = []
+        while True:
+            top = self._heap_top()
+            if top is None or top[0] > now:
+                break
+            heapq.heappop(self._heap)
+            _, _, seq, name = top
+            entry = self._entries.pop(name)
+            self._index_discard(entry)
+            expired.append((seq, entry))
+            self.stats["expirations"] += 1
+            self._obs_expirations.inc()
+        # The reference returns expired entries in dict (install) order.
+        expired.sort(key=lambda item: item[0])
+        return [entry for _, entry in expired]
+
+    def lookup(
+        self, flow: FlowId, now: float, refresh: bool = True
+    ) -> Optional[TableEntry]:
+        """Match ``flow`` against the table (see :class:`ReferenceFlowTable`)."""
+        self.sweep(now)
+        key = (flow.src, flow.dst, flow.proto, flow.sport, flow.dport)
+        try:
+            best = self._winners[key]
+        except KeyError:
+            best = self._scan(flow)
+            self._winners[key] = best
+        if best is None:
+            self.stats["misses"] += 1
+            self._obs_misses.inc()
+            return None
+        self.stats["hits"] += 1
+        self._obs_hits.inc()
+        if refresh:
+            best.last_match = now
+            # Only an idle timeout makes the refresh move the expiry.
+            if best.rule.idle_timeout > 0:
+                self._reschedule(best)
+        return best
+
+    def _scan(self, flow: FlowId) -> Optional[TableEntry]:
+        """Priority-bucketed winner scan (reference tie-breaks).
+
+        Buckets are visited in descending priority; within a bucket the
+        first-installed cover wins, which is exactly the reference's
+        "strictly greater replaces" linear scan over its install-ordered
+        dict.
+        """
+        for priority in self._priorities:
+            for entry in self._buckets[priority].values():
+                if entry.rule.covers(flow):
+                    return entry
+        return None
+
+    def peek(self, flow: FlowId, now: float) -> Optional[TableEntry]:
+        """Non-mutating lookup: no timer refresh, no statistics."""
+        for priority in self._priorities:
+            for entry in self._buckets[priority].values():
+                if not entry.expired(now) and entry.rule.covers(flow):
+                    return entry
+        return None
+
+    def install(
+        self, rule: Rule, out_port: int, now: float
+    ) -> Optional[TableEntry]:
+        """Install ``rule`` (see :class:`ReferenceFlowTable`)."""
+        self.sweep(now)
+        existing = self._entries.get(rule.name)
+        if existing is not None:
+            existing.install_time = now
+            existing.last_match = now
+            existing.out_port = out_port
+            self._reschedule(existing)
+            return None
+        evicted: Optional[TableEntry] = None
+        if len(self._entries) >= self.capacity:
+            evicted = self._pick_victim(now)
+            if evicted is None:
+                return None  # table full of permanent rules
+            del self._entries[evicted.rule.name]
+            self._index_discard(evicted)
+            self.stats["evictions"] += 1
+            self._obs_evictions.inc()
+        entry = TableEntry(
+            rule=rule, out_port=out_port, install_time=now, last_match=now
+        )
+        self._entries[rule.name] = entry
+        self._index_add(entry)
+        self.stats["installs"] += 1
+        self._obs_installs.inc()
+        return evicted
+
+    def _pick_victim(self, now: float) -> Optional[TableEntry]:
+        """Shortest-remaining-time evictable entry (ties: oldest install)."""
+        top = self._heap_top()
+        if top is None:
+            return None
+        return self._entries[top[3]]
+
+    def remove(self, rule_name: str) -> bool:
+        """Explicitly delete an entry (controller-driven removal)."""
+        entry = self._entries.pop(rule_name, None)
+        if entry is None:
+            return False
+        self._index_discard(entry)
+        return True
+
+    def next_expiry(self, now: float) -> float:
+        """Earliest future expiry time, or ``inf`` when none."""
+        top = self._heap_top()
+        if top is None:
+            return math.inf
+        # The reference computes ``now + (expiry - now)``; reproduce its
+        # rounding so both paths return bit-identical times.
+        return now + (top[0] - now)
+
+
+def make_flow_table(
+    capacity: int, simpath: Optional[str] = None
+) -> ReferenceFlowTable:
+    """The flow table for the resolved simulation path.
+
+    ``None`` consults the ambient default (the ``REPRO_SIMPATH``
+    environment variable, then ``auto``); see :mod:`repro.core.simpath`.
+    """
+    if resolve_simpath(simpath).fast:
+        return IndexedFlowTable(capacity)
+    return ReferenceFlowTable(capacity)

@@ -11,7 +11,7 @@ and the three control-channel messages of the reactive path --
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.flows.flowid import FlowId
@@ -24,7 +24,6 @@ ECHO_REQUEST = "echo_request"
 ECHO_REPLY = "echo_reply"
 
 
-@dataclass
 class Packet:
     """A data-plane packet.
 
@@ -32,14 +31,59 @@ class Packet:
     ``spoofed`` marks attacker packets whose source address is forged
     (Section III-A's probe construction).  ``probe_id`` ties a probe
     packet to its measurement at the attacker.
+
+    A plain ``__slots__`` class rather than a dataclass: one packet is
+    allocated per background arrival plus one per echo reply, so the
+    per-instance dict is measurable across a sweep (and ``slots=True``
+    needs a newer dataclass than the 3.9 floor supports).
     """
 
-    flow: FlowId
-    kind: str = ECHO_REQUEST
-    created: float = 0.0
-    spoofed: bool = False
-    probe_id: Optional[int] = None
-    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    __slots__ = ("flow", "kind", "created", "spoofed", "probe_id", "packet_id")
+
+    #: Unhashable, like the mutable dataclass this class replaced.
+    __hash__ = None  # type: ignore[assignment]
+
+    def __init__(
+        self,
+        flow: FlowId,
+        kind: str = ECHO_REQUEST,
+        created: float = 0.0,
+        spoofed: bool = False,
+        probe_id: Optional[int] = None,
+        packet_id: Optional[int] = None,
+    ) -> None:
+        self.flow = flow
+        self.kind = kind
+        self.created = created
+        self.spoofed = spoofed
+        self.probe_id = probe_id
+        self.packet_id = next(_packet_ids) if packet_id is None else packet_id
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Packet):
+            return NotImplemented
+        return (
+            self.flow,
+            self.kind,
+            self.created,
+            self.spoofed,
+            self.probe_id,
+            self.packet_id,
+        ) == (
+            other.flow,
+            other.kind,
+            other.created,
+            other.spoofed,
+            other.probe_id,
+            other.packet_id,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Packet(flow={self.flow!r}, kind={self.kind!r}, "
+            f"created={self.created!r}, spoofed={self.spoofed!r}, "
+            f"probe_id={self.probe_id!r}, packet_id={self.packet_id!r})"
+        )
 
     def make_reply(self, now: float) -> "Packet":
         """The echo reply travelling the reverse flow."""

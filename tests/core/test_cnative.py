@@ -1,0 +1,99 @@
+"""Tests for the native float32 pair-chain screening kernel."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core import cnative
+
+
+@pytest.fixture
+def reset_kernel():
+    """Reload the kernel around a test so env overrides take effect."""
+    cnative._reset_for_tests()
+    yield
+    cnative._reset_for_tests()
+
+
+def _transposed_pieces(matrix: np.ndarray):
+    """CSR pieces of ``matrix.T`` in the kernel's dtypes."""
+    csr = sparse.csr_matrix(matrix.T.astype(np.float32))
+    return (
+        np.ascontiguousarray(csr.indptr, dtype=np.int32),
+        np.ascontiguousarray(csr.indices, dtype=np.uint16),
+        np.ascontiguousarray(csr.data, dtype=np.float32),
+    )
+
+
+def _random_stochastic(rng: np.random.Generator, n: int) -> np.ndarray:
+    matrix = rng.random((n, n))
+    matrix[rng.random((n, n)) < 0.6] = 0.0
+    matrix += np.eye(n)  # no all-zero rows
+    return matrix / matrix.sum(axis=1, keepdims=True)
+
+
+class TestDisabled:
+    def test_kill_switch_forces_the_fallback(self, monkeypatch, reset_kernel):
+        monkeypatch.setenv(cnative.DISABLE_ENV_VAR, "1")
+        assert not cnative.available()
+        assert cnative.DISABLE_ENV_VAR in (cnative.load_error() or "")
+        assert cnative.simd_level() == "none"
+
+    def test_pair_chain_raises_when_unavailable(
+        self, monkeypatch, reset_kernel
+    ):
+        monkeypatch.setenv(cnative.DISABLE_ENV_VAR, "1")
+        n = 4
+        pieces = _transposed_pieces(np.eye(n))
+        x0 = np.full(n, 1.0 / n, dtype=np.float32)
+        with pytest.raises(RuntimeError, match="native kernel unavailable"):
+            cnative.pair_chain_f32(*pieces, *pieces, x0, 3)
+
+
+class TestKernel:
+    @pytest.fixture(autouse=True)
+    def _require_kernel(self, monkeypatch, reset_kernel):
+        monkeypatch.delenv(cnative.DISABLE_ENV_VAR, raising=False)
+        if not cnative.available():
+            pytest.skip(f"native kernel unavailable: {cnative.load_error()}")
+
+    def test_simd_level_reported(self):
+        assert cnative.simd_level() in ("avx512", "scalar")
+
+    @pytest.mark.parametrize("steps", [1, 2, 3, 8])
+    def test_matches_float64_powering(self, steps):
+        # Odd and even step counts exercise the kernel's buffer-swap
+        # copy-back branch.
+        rng = np.random.default_rng(7)
+        n = 37
+        a = _random_stochastic(rng, n)
+        b = _random_stochastic(rng, n)
+        x0 = rng.random(n)
+        x0 = (x0 / x0.sum()).astype(np.float32)
+
+        y1, y2 = cnative.pair_chain_f32(
+            *_transposed_pieces(a), *_transposed_pieces(b), x0, steps
+        )
+
+        want1 = x0.astype(np.float64)
+        want2 = x0.astype(np.float64)
+        for _ in range(steps):
+            want1 = want1 @ a
+            want2 = want2 @ b
+        np.testing.assert_allclose(y1, want1, rtol=1e-4, atol=1e-6)
+        np.testing.assert_allclose(y2, want2, rtol=1e-4, atol=1e-6)
+
+    def test_input_distribution_not_mutated(self):
+        rng = np.random.default_rng(11)
+        n = 9
+        pieces = _transposed_pieces(_random_stochastic(rng, n))
+        x0 = np.full(n, 1.0 / n, dtype=np.float32)
+        before = x0.copy()
+        cnative.pair_chain_f32(*pieces, *pieces, x0, 5)
+        np.testing.assert_array_equal(x0, before)
+
+    def test_state_space_bound_enforced(self):
+        pieces = _transposed_pieces(np.eye(2))
+        x0 = np.zeros(cnative.MAX_STATES + 1, dtype=np.float32)
+        with pytest.raises(ValueError, match="state space too large"):
+            cnative.pair_chain_f32(*pieces, *pieces, x0, 1)

@@ -1,0 +1,102 @@
+"""Tests for the simulation-path registry (reference vs. fastpath)."""
+
+import pytest
+
+from repro.core.simpath import (
+    SIMPATH_CHOICES,
+    SIMPATH_ENV_VAR,
+    ResolvedSimPath,
+    resolve_simpath,
+    simpath_override,
+)
+from repro.simulator.flowtable import (
+    IndexedFlowTable,
+    ReferenceFlowTable,
+    make_flow_table,
+)
+
+
+class TestResolve:
+    def test_default_is_fastpath(self, monkeypatch):
+        monkeypatch.delenv(SIMPATH_ENV_VAR, raising=False)
+        resolved = resolve_simpath()
+        assert resolved == ResolvedSimPath("auto", "fastpath")
+        assert resolved.fast
+        assert resolved.describe() == "fastpath"
+
+    def test_explicit_names_resolve_to_themselves(self):
+        assert resolve_simpath("reference").name == "reference"
+        assert not resolve_simpath("reference").fast
+        assert resolve_simpath("fastpath").name == "fastpath"
+        assert resolve_simpath("fastpath").fast
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown simpath"):
+            resolve_simpath("turbo")
+
+    def test_choices_cover_the_contract(self):
+        assert SIMPATH_CHOICES == ("reference", "fastpath", "auto")
+
+
+class TestEnvOverride:
+    def test_env_sets_the_ambient_default(self, monkeypatch):
+        monkeypatch.setenv(SIMPATH_ENV_VAR, "reference")
+        assert resolve_simpath().name == "reference"
+
+    def test_auto_defers_to_a_concrete_env_value(self, monkeypatch):
+        # Params carry simpath="auto" by default; the env var must be
+        # able to flip such runs (the differential suite relies on it).
+        monkeypatch.setenv(SIMPATH_ENV_VAR, "reference")
+        resolved = resolve_simpath("auto")
+        assert resolved == ResolvedSimPath("auto", "reference")
+
+    def test_auto_env_means_fastpath(self, monkeypatch):
+        monkeypatch.setenv(SIMPATH_ENV_VAR, "auto")
+        assert resolve_simpath("auto").name == "fastpath"
+
+    def test_explicit_request_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv(SIMPATH_ENV_VAR, "reference")
+        assert resolve_simpath("fastpath").name == "fastpath"
+
+    def test_invalid_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(SIMPATH_ENV_VAR, "warp")
+        with pytest.raises(ValueError, match=SIMPATH_ENV_VAR):
+            resolve_simpath("auto")
+        with pytest.raises(ValueError, match="unknown simpath"):
+            resolve_simpath()
+
+
+class TestOverrideContext:
+    def test_override_applies_and_restores(self, monkeypatch):
+        monkeypatch.delenv(SIMPATH_ENV_VAR, raising=False)
+        with simpath_override("reference"):
+            assert resolve_simpath().name == "reference"
+        assert resolve_simpath().name == "fastpath"
+
+    def test_override_restores_previous_value(self, monkeypatch):
+        monkeypatch.setenv(SIMPATH_ENV_VAR, "fastpath")
+        with simpath_override("reference"):
+            assert resolve_simpath().name == "reference"
+        assert resolve_simpath().name == "fastpath"
+
+    def test_override_validates_eagerly(self):
+        with pytest.raises(ValueError):
+            with simpath_override("bogus"):
+                pass  # pragma: no cover - never entered
+
+
+class TestMakeFlowTable:
+    def test_fastpath_gets_the_indexed_table(self):
+        with simpath_override("fastpath"):
+            assert isinstance(make_flow_table(4), IndexedFlowTable)
+
+    def test_reference_gets_the_linear_scan_table(self):
+        with simpath_override("reference"):
+            table = make_flow_table(4)
+            assert type(table) is ReferenceFlowTable
+
+    def test_explicit_argument_beats_the_ambient_default(self):
+        with simpath_override("reference"):
+            assert isinstance(
+                make_flow_table(4, simpath="fastpath"), IndexedFlowTable
+            )

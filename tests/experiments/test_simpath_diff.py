@@ -1,0 +1,137 @@
+"""Differential suite: fastpath == reference, bit for bit.
+
+Every headline pipeline runs twice -- once with ``REPRO_SIMPATH=
+reference`` (linear-scan tables, per-event scheduling, exact-only
+screening) and once with ``REPRO_SIMPATH=fastpath`` (indexed tables,
+batched streams, certified float32 pre-screen) -- and the persisted
+result documents must be identical except for the provenance record of
+which path ran.  This is the contract that makes the fast path safe to
+ship as the default: not statistically close, *equal*.
+
+The grid deliberately crosses the fast path with every behaviour that
+rides on RNG draw order: fault plans and probe retries (robustness),
+network-mode trials with an attached defense and detector (defend),
+the fig6 case-split screens, and the fork-pool screening fan-out
+(``--trial-jobs``).
+"""
+
+import pytest
+
+from repro.apispec import JobSpec
+from repro.core.simpath import simpath_override
+from repro.experiments.defend import run_defend
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.persist import (
+    defend_to_document,
+    fig6_to_document,
+    fig7_to_document,
+    robustness_to_document,
+)
+from repro.experiments.robustness import run_robustness
+
+from tests.experiments.conftest import (
+    tiny_config_params,
+    tiny_experiment_params,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+BINS = ((0.5, 0.75), (0.75, 0.95))
+
+
+def run_both(run):
+    """One pipeline under each path; returns the two documents."""
+    with simpath_override("reference"):
+        reference = run()
+    with simpath_override("fastpath"):
+        fastpath = run()
+    return reference, fastpath
+
+
+def assert_identical_modulo_provenance(reference, fastpath):
+    prov_ref = reference.pop("provenance")
+    prov_fast = fastpath.pop("provenance")
+    assert prov_ref["simpath_resolved"] == "reference"
+    assert prov_fast["simpath_resolved"] == "fastpath"
+    assert reference == fastpath
+
+
+class TestFig6:
+    def test_documents_identical(self):
+        params = tiny_experiment_params(n_trials=10, seed=61)
+
+        def run():
+            result = run_fig6(params, bins=BINS, configs_per_bin=2)
+            return fig6_to_document(result, params=params)
+
+        assert_identical_modulo_provenance(*run_both(run))
+
+
+class TestFig7:
+    def test_documents_identical(self):
+        params = tiny_experiment_params(n_trials=10, seed=71)
+
+        def run():
+            result = run_fig7(params, bins=BINS, configs_per_bin=2)
+            return fig7_to_document(result, params=params)
+
+        assert_identical_modulo_provenance(*run_both(run))
+
+
+class TestRobustness:
+    def test_documents_identical_with_faults_and_retries(self):
+        # Network-mode trials put the stream scheduler, the indexed
+        # table, fault injection, and the retry budget all on the line.
+        params = tiny_experiment_params(
+            n_trials=6, seed=81, probe_retries=1, trial_mode="network"
+        )
+
+        def run():
+            result = run_robustness(params, rates=(0.0, 1.0))
+            return robustness_to_document(result, params=params)
+
+        assert_identical_modulo_provenance(*run_both(run))
+
+
+class TestDefend:
+    def test_documents_identical_with_defense_attached(self):
+        spec = JobSpec(
+            experiment="defend",
+            config=tiny_config_params(),
+            n_configs=2,
+            n_trials=6,
+            seed=123,
+            trial_mode="network",
+            defense=("delay",),
+            detector="logistic",
+        )
+
+        def run():
+            result = run_defend(spec)
+            return defend_to_document(result, spec=spec)
+
+        assert_identical_modulo_provenance(*run_both(run))
+
+
+class TestTrialJobs:
+    def test_fork_pool_screening_matches_serial_reference(self):
+        # fastpath x trial_jobs=2 against reference x serial: the fan
+        # out must neither reorder the candidate stream nor change what
+        # the certified pre-screen decides.
+        def run(trial_jobs):
+            params = tiny_experiment_params(
+                n_trials=10, seed=61, trial_jobs=trial_jobs
+            )
+            result = run_fig6(params, bins=BINS, configs_per_bin=2)
+            document = fig6_to_document(result, params=params)
+            return {
+                key: document[key]
+                for key in ("metrics", "series", "configurations")
+            }
+
+        with simpath_override("reference"):
+            reference = run(1)
+        with simpath_override("fastpath"):
+            fastpath = run(2)
+        assert reference == fastpath
